@@ -1,0 +1,171 @@
+//! Micro-benchmarks of the DHT substrates: hashing, ring arithmetic,
+//! Chord routing, and storage operations.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p2p_index_dht::{hash::sha1, ChordNetwork, Dht, KademliaNetwork, Key, NodeId, RingDht};
+use std::hint::black_box;
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha1(black_box(data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_key_ops(c: &mut Criterion) {
+    let a = Key::hash_of("a");
+    let b_key = Key::hash_of("b");
+    let k = Key::hash_of("probe");
+    c.bench_function("key/wrapping_add", |b| {
+        b.iter(|| black_box(a).wrapping_add(black_box(&b_key)))
+    });
+    c.bench_function("key/in_interval", |b| {
+        b.iter(|| black_box(k).in_interval(black_box(&a), black_box(&b_key)))
+    });
+    c.bench_function("key/hash_of_query_text", |b| {
+        b.iter(|| {
+            Key::hash_of(black_box(
+                "/article[author[first/John][last/Smith]][conf/INFOCOM]",
+            ))
+        })
+    });
+}
+
+fn bench_chord_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chord/find_successor");
+    for n in [64usize, 256, 1024] {
+        let net =
+            ChordNetwork::with_perfect_tables((0..n).map(|i| Key::hash_of(&format!("node-{i}"))));
+        let origins = net.nodes();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let key = Key::hash_of(&format!("probe-{i}"));
+                net.find_successor_from(*origins[i % origins.len()].key(), black_box(&key))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_chord_storage(c: &mut Criterion) {
+    let mut net =
+        ChordNetwork::with_perfect_tables((0..256).map(|i| Key::hash_of(&format!("node-{i}"))));
+    for i in 0..1000 {
+        net.put(
+            Key::hash_of(&format!("seed-{i}")),
+            Bytes::from(format!("value-{i}")),
+        );
+    }
+    let mut i = 0usize;
+    c.bench_function("chord/put", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            net.put(
+                Key::hash_of(&format!("bench-{i}")),
+                Bytes::from_static(b"v"),
+            )
+        })
+    });
+    c.bench_function("chord/get", |b| {
+        let mut j = 0usize;
+        b.iter(|| {
+            j = j.wrapping_add(1);
+            net.get(&Key::hash_of(&format!("seed-{}", j % 1000)))
+        })
+    });
+}
+
+fn bench_chord_join_converge(c: &mut Criterion) {
+    c.bench_function("chord/join_and_converge_64", |b| {
+        b.iter_with_setup(
+            || {
+                ChordNetwork::with_perfect_tables(
+                    (0..64).map(|i| Key::hash_of(&format!("node-{i}"))),
+                )
+            },
+            |mut net| {
+                let boot = net.nodes()[0];
+                net.join(NodeId::hash_of("newcomer"), boot)
+                    .expect("join succeeds");
+                net.converge(50)
+            },
+        )
+    });
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut ring = RingDht::with_named_nodes(500);
+    for i in 0..1000 {
+        ring.put(
+            Key::hash_of(&format!("seed-{i}")),
+            Bytes::from(format!("value-{i}")),
+        );
+    }
+    c.bench_function("ring/owner_500_nodes", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            ring.owner(&Key::hash_of(&format!("probe-{i}")))
+        })
+    });
+    c.bench_function("ring/get", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            ring.get(&Key::hash_of(&format!("seed-{}", i % 1000)))
+        })
+    });
+}
+
+fn bench_kademlia(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kademlia/find_closest");
+    for n in [64usize, 256] {
+        let mut net =
+            KademliaNetwork::with_nodes((0..n).map(|i| Key::hash_of(&format!("node-{i}"))));
+        let origins = net.nodes();
+        g.bench_function(BenchmarkId::from_parameter(n), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let key = Key::hash_of(&format!("probe-{i}"));
+                net.find_closest(*origins[i % origins.len()].key(), black_box(&key))
+            })
+        });
+    }
+    g.finish();
+
+    let mut net = KademliaNetwork::with_nodes((0..128).map(|i| Key::hash_of(&format!("node-{i}"))));
+    for i in 0..500 {
+        net.put(
+            Key::hash_of(&format!("seed-{i}")),
+            Bytes::from(format!("v{i}")),
+        );
+    }
+    c.bench_function("kademlia/get", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            net.get(&Key::hash_of(&format!("seed-{}", i % 500)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha1,
+    bench_key_ops,
+    bench_chord_routing,
+    bench_chord_storage,
+    bench_chord_join_converge,
+    bench_ring,
+    bench_kademlia,
+);
+criterion_main!(benches);

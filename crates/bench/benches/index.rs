@@ -1,0 +1,150 @@
+//! Micro-benchmarks of the index layer: publishing, lookup steps, full
+//! searches per scheme, and shortcut-cache operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_index_core::{
+    CachePolicy, ComplexScheme, FlatScheme, IndexScheme, IndexService, IndexTarget, ShortcutCache,
+    SimpleScheme,
+};
+use p2p_index_dht::RingDht;
+use p2p_index_workload::{Corpus, CorpusConfig, QueryGenerator, StructureMix};
+use p2p_index_xpath::Query;
+use std::hint::black_box;
+
+fn corpus() -> Corpus {
+    Corpus::generate(CorpusConfig {
+        articles: 500,
+        author_pool: 125,
+        ..CorpusConfig::default()
+    })
+}
+
+fn service_with(corpus: &Corpus, scheme: &dyn IndexScheme) -> IndexService<RingDht> {
+    let mut s = IndexService::new(RingDht::with_named_nodes(100), CachePolicy::None);
+    for a in corpus.articles() {
+        s.publish(&a.descriptor(), a.file_name(), scheme)
+            .expect("publish succeeds");
+    }
+    s
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut g = c.benchmark_group("index/publish_article");
+    for (name, scheme) in [
+        ("simple", &SimpleScheme as &dyn IndexScheme),
+        ("flat", &FlatScheme),
+        ("complex", &ComplexScheme),
+    ] {
+        g.bench_function(name, |b| {
+            let mut s = IndexService::new(RingDht::with_named_nodes(100), CachePolicy::None);
+            let mut i = 0usize;
+            b.iter(|| {
+                let article = &corpus.articles()[i % corpus.len()];
+                i += 1;
+                s.publish(
+                    &article.descriptor(),
+                    format!("{}-{i}", article.file_name()),
+                    scheme,
+                )
+                .expect("publish succeeds")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup_step(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut s = service_with(&corpus, &SimpleScheme);
+    let mut generator = QueryGenerator::new(&corpus, StructureMix::paper_simulation(), 1);
+    let queries: Vec<Query> = (0..256).map(|_| generator.next_query().query).collect();
+    c.bench_function("index/lookup_step", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            s.lookup_step(black_box(&queries[i % queries.len()]))
+                .expect("lookup succeeds")
+        })
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut g = c.benchmark_group("index/search_author_query");
+    for (name, scheme) in [
+        ("simple", &SimpleScheme as &dyn IndexScheme),
+        ("flat", &FlatScheme),
+        ("complex", &ComplexScheme),
+    ] {
+        let mut s = service_with(&corpus, scheme);
+        let mut generator = QueryGenerator::new(&corpus, StructureMix::paper_simulation(), 2);
+        let queries: Vec<Query> = (0..128).map(|_| generator.next_query().query).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &queries, |b, queries| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                s.search(black_box(&queries[i % queries.len()]))
+                    .expect("search succeeds")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_generalization_search(c: &mut Criterion) {
+    // Author+year queries are never indexed: the search exercises the
+    // generalize-then-specialize path.
+    let corpus = corpus();
+    let mut s = service_with(&corpus, &SimpleScheme);
+    let queries: Vec<Query> = corpus.articles()[..64]
+        .iter()
+        .map(|a| p2p_index_workload::QueryStructure::AuthorYear.query_for(a))
+        .collect();
+    c.bench_function("index/search_non_indexed_query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            s.search(black_box(&queries[i % queries.len()]))
+                .expect("search succeeds")
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let queries: Vec<Query> = (0..1000)
+        .map(|i| format!("/article/title/T{i}").parse().expect("valid query"))
+        .collect();
+    c.bench_function("cache/lru30_insert_evict", |b| {
+        let mut cache = ShortcutCache::with_capacity(30);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            cache.insert(
+                queries[i % queries.len()].clone(),
+                IndexTarget::File("f".into()),
+            )
+        })
+    });
+    c.bench_function("cache/hit", |b| {
+        let mut cache = ShortcutCache::new();
+        for q in &queries {
+            cache.insert(q.clone(), IndexTarget::File("f".into()));
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            cache.get(&queries[i % queries.len()]).is_some()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_publish,
+    bench_lookup_step,
+    bench_search,
+    bench_generalization_search,
+    bench_cache,
+);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! One benchmark per exhibit of the paper's evaluation (§V).
+//!
+//! Each bench regenerates its table/figure at a reduced scale (the same
+//! shapes as the paper-scale run; see EXPERIMENTS.md for the full-scale
+//! numbers produced by the `repro` binary), prints it once, and then times
+//! the underlying computation. Benchmarks:
+//!
+//! `fig07_query_mix`, `fig09_popularity`, `fig10_ccdf`, `storage_overhead`,
+//! `fig11_interactions`, `fig12_traffic`, `fig13_hit_ratio`,
+//! `fig14_cache_storage`, `fig15_hotspots`, `table1_errors`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2p_index_core::CachePolicy;
+use p2p_index_sim::experiments::{
+    self, EvalConfig, Evaluation, FIG11_POLICIES, FIG12_POLICIES, FIG13_POLICIES, TABLE1_POLICIES,
+};
+use p2p_index_sim::simulation::{SchemeChoice, SimConfig, Simulation};
+use p2p_index_workload::StructureMix;
+use std::hint::black_box;
+
+/// Bench-scale grid: small enough for criterion, large enough to keep the
+/// paper's qualitative shapes.
+fn bench_config() -> EvalConfig {
+    EvalConfig {
+        nodes: 40,
+        articles: 200,
+        queries: 1_000,
+        seed: 42,
+    }
+}
+
+fn sim_config(scheme: SchemeChoice, policy: CachePolicy) -> SimConfig {
+    let cfg = bench_config();
+    SimConfig {
+        nodes: cfg.nodes,
+        articles: cfg.articles,
+        queries: cfg.queries,
+        scheme,
+        policy,
+        mix: StructureMix::paper_simulation(),
+        seed: cfg.seed,
+    }
+}
+
+fn fig07_query_mix(c: &mut Criterion) {
+    println!("{}", experiments::fig7_query_mix().to_text());
+    c.bench_function("fig07_query_mix", |b| {
+        b.iter(|| black_box(experiments::fig7_query_mix()))
+    });
+}
+
+fn fig09_popularity(c: &mut Criterion) {
+    println!("{}", experiments::fig9_popularity().to_text());
+    c.bench_function("fig09_popularity", |b| {
+        b.iter(|| black_box(experiments::fig9_popularity()))
+    });
+}
+
+fn fig10_ccdf(c: &mut Criterion) {
+    println!("{}", experiments::fig10_ccdf().to_text());
+    c.bench_function("fig10_ccdf", |b| {
+        b.iter(|| black_box(experiments::fig10_ccdf()))
+    });
+}
+
+fn storage_overhead(c: &mut Criterion) {
+    let cfg = bench_config();
+    println!("{}", experiments::storage_overhead(&cfg).to_text());
+    c.bench_function("storage_overhead", |b| {
+        b.iter(|| black_box(experiments::storage_overhead(&cfg)))
+    });
+}
+
+/// Times one simulation cell; the full grid is regenerated and printed once.
+fn grid_bench(
+    c: &mut Criterion,
+    name: &str,
+    table: impl FnOnce(&mut Evaluation) -> p2p_index_sim::table::TextTable,
+) {
+    let mut eval = Evaluation::new(bench_config());
+    println!("{}", table(&mut eval).to_text());
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            black_box(Simulation::run(sim_config(
+                SchemeChoice::Simple,
+                CachePolicy::Lru(30),
+            )))
+        })
+    });
+}
+
+fn fig11_interactions(c: &mut Criterion) {
+    grid_bench(c, "fig11_interactions", |e| {
+        // Touch every cell of the figure so the printed table is complete.
+        for p in FIG11_POLICIES {
+            for s in SchemeChoice::PAPER {
+                e.cell(s, p);
+            }
+        }
+        experiments::fig11_interactions(e)
+    });
+}
+
+fn fig12_traffic(c: &mut Criterion) {
+    grid_bench(c, "fig12_traffic", |e| {
+        for p in FIG12_POLICIES {
+            for s in SchemeChoice::PAPER {
+                e.cell(s, p);
+            }
+        }
+        experiments::fig12_traffic(e)
+    });
+}
+
+fn fig13_hit_ratio(c: &mut Criterion) {
+    grid_bench(c, "fig13_hit_ratio", |e| {
+        for p in FIG13_POLICIES {
+            for s in SchemeChoice::PAPER {
+                e.cell(s, p);
+            }
+        }
+        experiments::fig13_hit_ratio(e)
+    });
+}
+
+fn fig14_cache_storage(c: &mut Criterion) {
+    grid_bench(c, "fig14_cache_storage", experiments::fig14_cache_storage);
+}
+
+fn fig15_hotspots(c: &mut Criterion) {
+    grid_bench(c, "fig15_hotspots", experiments::fig15_hotspots);
+}
+
+fn table1_errors(c: &mut Criterion) {
+    grid_bench(c, "table1_errors", |e| {
+        for p in TABLE1_POLICIES {
+            for s in SchemeChoice::PAPER {
+                e.cell(s, p);
+            }
+        }
+        experiments::table1_errors(e)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        fig07_query_mix,
+        fig09_popularity,
+        fig10_ccdf,
+        storage_overhead,
+        fig11_interactions,
+        fig12_traffic,
+        fig13_hit_ratio,
+        fig14_cache_storage,
+        fig15_hotspots,
+        table1_errors,
+}
+criterion_main!(benches);

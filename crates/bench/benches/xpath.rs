@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the query language: parsing, evaluation,
+//! normalization, and the covering relation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2p_index_xmldoc::Descriptor;
+use p2p_index_xpath::{parse_query, Query};
+use std::hint::black_box;
+
+const MSD_TEXT: &str =
+    "/article[author[first/John][last/Smith]][conf/SIGCOMM][size/315635][title/TCP][year/1989]";
+const BROAD_TEXT: &str = "/article/author[first/John][last/Smith]";
+
+fn descriptor() -> Descriptor {
+    Descriptor::parse(
+        "<article><author><first>John</first><last>Smith</last></author>\
+         <title>TCP</title><conf>SIGCOMM</conf><year>1989</year><size>315635</size></article>",
+    )
+    .expect("valid descriptor")
+}
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("xpath/parse_broad", |b| {
+        b.iter(|| parse_query(black_box(BROAD_TEXT)).expect("parses"))
+    });
+    c.bench_function("xpath/parse_msd", |b| {
+        b.iter(|| parse_query(black_box(MSD_TEXT)).expect("parses"))
+    });
+}
+
+fn bench_display(c: &mut Criterion) {
+    let q = parse_query(MSD_TEXT).expect("parses");
+    c.bench_function("xpath/canonical_text", |b| {
+        b.iter(|| black_box(&q).to_string())
+    });
+}
+
+fn bench_matches(c: &mut Criterion) {
+    let d = descriptor();
+    let broad = parse_query(BROAD_TEXT).expect("parses");
+    let msd = parse_query(MSD_TEXT).expect("parses");
+    let descendant = parse_query("//last/Smith").expect("parses");
+    c.bench_function("xpath/matches_broad", |b| {
+        b.iter(|| broad.matches(black_box(d.root())))
+    });
+    c.bench_function("xpath/matches_msd", |b| {
+        b.iter(|| msd.matches(black_box(d.root())))
+    });
+    c.bench_function("xpath/matches_descendant", |b| {
+        b.iter(|| descendant.matches(black_box(d.root())))
+    });
+}
+
+fn bench_covers(c: &mut Criterion) {
+    let broad = parse_query(BROAD_TEXT).expect("parses");
+    let msd = parse_query(MSD_TEXT).expect("parses");
+    let other = parse_query("/article/conf/INFOCOM").expect("parses");
+    c.bench_function("xpath/covers_hit", |b| {
+        b.iter(|| broad.covers(black_box(&msd)))
+    });
+    c.bench_function("xpath/covers_miss", |b| {
+        b.iter(|| other.covers(black_box(&msd)))
+    });
+}
+
+fn bench_msd_derivation(c: &mut Criterion) {
+    let d = descriptor();
+    c.bench_function("xpath/most_specific", |b| {
+        b.iter(|| Query::most_specific(black_box(&d)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_display,
+    bench_matches,
+    bench_covers,
+    bench_msd_derivation,
+);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Benchmark-only crate: see the `benches/` directory.
+//!
+//! * `dht` — SHA-1, key arithmetic, Chord routing/puts, ring lookups;
+//! * `xpath` — query parsing, matching, covering, MSD derivation;
+//! * `index` — publish/lookup/search per scheme, cache operations;
+//! * `paper_figures` — one benchmark per paper exhibit (Figs. 7, 9-15,
+//!   Table I, §V-B storage), each also printing the regenerated table;
+//! * `ablations` — substrate independence, hierarchy depth, cache
+//!   capacity sweep.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,328 @@
+//! The adaptive distributed cache: per-node shortcut stores.
+//!
+//! After a successful lookup, peers create *shortcut* entries — "direct
+//! mappings between generic queries and the descriptor of the target file"
+//! (§IV-C) — in the caches of index nodes traversed along the path. Later
+//! users asking the same query jump straight to the file.
+//!
+//! [`CachePolicy`] selects the paper's three §V-D variants (plus no
+//! caching); [`ShortcutCache`] is the per-node store with optional LRU
+//! eviction.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use p2p_index_xpath::Query;
+
+use crate::target::IndexTarget;
+
+/// Which shortcut-caching policy the system runs (§V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CachePolicy {
+    /// No shortcuts are ever created.
+    #[default]
+    None,
+    /// Shortcuts are created on *every* node along the lookup path;
+    /// unbounded cache size.
+    Multi,
+    /// Shortcuts are created only on the *first* node contacted;
+    /// unbounded cache size.
+    Single,
+    /// Like `Single`, but each node stores at most this many cached keys,
+    /// evicting the least-recently-used entry when full.
+    Lru(usize),
+}
+
+impl CachePolicy {
+    /// The per-node capacity limit, if this policy has one.
+    pub fn capacity(&self) -> Option<usize> {
+        match self {
+            CachePolicy::Lru(k) => Some(*k),
+            _ => None,
+        }
+    }
+
+    /// Should shortcuts be created at all?
+    pub fn caches(&self) -> bool {
+        !matches!(self, CachePolicy::None)
+    }
+
+    /// Does this policy create shortcuts on every path node (true) or only
+    /// on the first node contacted (false)?
+    pub fn caches_whole_path(&self) -> bool {
+        matches!(self, CachePolicy::Multi)
+    }
+}
+
+impl fmt::Display for CachePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CachePolicy::None => write!(f, "no-cache"),
+            CachePolicy::Multi => write!(f, "multi-cache"),
+            CachePolicy::Single => write!(f, "single-cache"),
+            CachePolicy::Lru(k) => write!(f, "lru-{k}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    targets: Vec<IndexTarget>,
+    last_used: u64,
+}
+
+/// One node's shortcut cache: query → direct targets, LRU-evicted when a
+/// capacity is set.
+///
+/// A cached key may accumulate several targets (e.g. two popular articles
+/// by the same author reached through the same broad query); they are
+/// returned together, mirroring the multi-value semantics of regular index
+/// entries.
+#[derive(Debug, Clone, Default)]
+pub struct ShortcutCache {
+    slots: HashMap<Query, Slot>,
+    capacity: Option<usize>,
+    clock: u64,
+}
+
+impl ShortcutCache {
+    /// An unbounded cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cache holding at most `capacity` keys (LRU replacement).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ShortcutCache {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// A cache configured for `policy` (unbounded unless the policy is LRU).
+    pub fn for_policy(policy: CachePolicy) -> Self {
+        match policy.capacity() {
+            Some(k) => Self::with_capacity(k),
+            None => Self::new(),
+        }
+    }
+
+    /// Inserts a shortcut `query → target`, *replacing* any previous
+    /// shortcut under the same key.
+    ///
+    /// A shortcut is "a direct mapping between a generic query and the
+    /// descriptor of the target file" (§IV-C) — one descriptor per cached
+    /// key, so a popular broad query always points at the most recently
+    /// confirmed target and responses stay small. Returns `true` if the
+    /// cache changed (new key, or a different target than before).
+    /// Inserting into a full LRU cache evicts the least-recently-used key
+    /// first; a capacity of 0 stores nothing.
+    pub fn insert(&mut self, query: Query, target: IndexTarget) -> bool {
+        if self.capacity == Some(0) {
+            return false;
+        }
+        self.clock += 1;
+        if let Some(slot) = self.slots.get_mut(&query) {
+            slot.last_used = self.clock;
+            if slot.targets.first() == Some(&target) {
+                return false;
+            }
+            slot.targets = vec![target];
+            return true;
+        }
+        if let Some(cap) = self.capacity {
+            while self.slots.len() >= cap {
+                let evict = self
+                    .slots
+                    .iter()
+                    .min_by_key(|(_, s)| s.last_used)
+                    .map(|(q, _)| q.clone())
+                    .expect("cache is non-empty");
+                self.slots.remove(&evict);
+            }
+        }
+        self.slots.insert(
+            query,
+            Slot {
+                targets: vec![target],
+                last_used: self.clock,
+            },
+        );
+        true
+    }
+
+    /// Looks up the shortcuts for `query`, refreshing its LRU position.
+    pub fn get(&mut self, query: &Query) -> Option<&[IndexTarget]> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.slots.get_mut(query).map(|slot| {
+            slot.last_used = clock;
+            slot.targets.as_slice()
+        })
+    }
+
+    /// Looks up without touching recency (for inspection).
+    pub fn peek(&self, query: &Query) -> Option<&[IndexTarget]> {
+        self.slots.get(query).map(|s| s.targets.as_slice())
+    }
+
+    /// Number of cached keys.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` when no shortcuts are cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Is the cache at its capacity limit (always `false` when unbounded)?
+    pub fn is_full(&self) -> bool {
+        matches!(self.capacity, Some(cap) if self.slots.len() >= cap)
+    }
+
+    /// The configured capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Removes every shortcut.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Removes `target` from every slot, dropping slots that become empty.
+    /// Used to purge shortcuts that dangle after a file is unpublished.
+    pub fn purge_target(&mut self, target: &IndexTarget) {
+        self.slots.retain(|_, slot| {
+            slot.targets.retain(|t| t != target);
+            !slot.targets.is_empty()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(s: &str) -> Query {
+        s.parse().unwrap()
+    }
+
+    fn file(name: &str) -> IndexTarget {
+        IndexTarget::File(name.into())
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut c = ShortcutCache::new();
+        assert!(c.insert(q("/a/b"), file("f1")));
+        assert_eq!(c.get(&q("/a/b")).unwrap(), &[file("f1")]);
+        assert!(c.get(&q("/a/c")).is_none());
+    }
+
+    #[test]
+    fn duplicate_target_not_added() {
+        let mut c = ShortcutCache::new();
+        assert!(c.insert(q("/a"), file("f")));
+        assert!(!c.insert(q("/a"), file("f")));
+        assert_eq!(c.get(&q("/a")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn same_key_replaces_target() {
+        let mut c = ShortcutCache::new();
+        assert!(c.insert(q("/a"), file("f1")));
+        assert!(c.insert(q("/a"), file("f2")));
+        // Replace-on-write: the slot holds only the newest descriptor.
+        assert_eq!(c.get(&q("/a")).unwrap(), &[file("f2")]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ShortcutCache::with_capacity(2);
+        c.insert(q("/a"), file("fa"));
+        c.insert(q("/b"), file("fb"));
+        // Touch /a so /b becomes LRU.
+        c.get(&q("/a"));
+        c.insert(q("/c"), file("fc"));
+        assert!(c.peek(&q("/a")).is_some());
+        assert!(c.peek(&q("/b")).is_none(), "LRU key should be evicted");
+        assert!(c.peek(&q("/c")).is_some());
+        assert_eq!(c.len(), 2);
+        assert!(c.is_full());
+    }
+
+    #[test]
+    fn lru_insert_refreshes_recency() {
+        let mut c = ShortcutCache::with_capacity(2);
+        c.insert(q("/a"), file("fa"));
+        c.insert(q("/b"), file("fb"));
+        // Re-inserting /a (new target) refreshes it; /b is evicted next.
+        c.insert(q("/a"), file("fa2"));
+        c.insert(q("/c"), file("fc"));
+        assert!(c.peek(&q("/a")).is_some());
+        assert!(c.peek(&q("/b")).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut c = ShortcutCache::with_capacity(0);
+        assert!(!c.insert(q("/a"), file("f")));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn unbounded_never_full() {
+        let mut c = ShortcutCache::new();
+        for i in 0..100 {
+            c.insert(q(&format!("/a/n{i}")), file("f"));
+        }
+        assert_eq!(c.len(), 100);
+        assert!(!c.is_full());
+        assert_eq!(c.capacity(), None);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn for_policy_configures_capacity() {
+        assert_eq!(
+            ShortcutCache::for_policy(CachePolicy::Lru(10)).capacity(),
+            Some(10)
+        );
+        assert_eq!(
+            ShortcutCache::for_policy(CachePolicy::Single).capacity(),
+            None
+        );
+        assert_eq!(
+            ShortcutCache::for_policy(CachePolicy::Multi).capacity(),
+            None
+        );
+    }
+
+    #[test]
+    fn policy_helpers() {
+        assert!(!CachePolicy::None.caches());
+        assert!(CachePolicy::Multi.caches());
+        assert!(CachePolicy::Multi.caches_whole_path());
+        assert!(!CachePolicy::Single.caches_whole_path());
+        assert_eq!(CachePolicy::Lru(30).capacity(), Some(30));
+        assert_eq!(CachePolicy::Lru(30).to_string(), "lru-30");
+        assert_eq!(CachePolicy::None.to_string(), "no-cache");
+        assert_eq!(CachePolicy::default(), CachePolicy::None);
+    }
+
+    #[test]
+    fn peek_does_not_refresh() {
+        let mut c = ShortcutCache::with_capacity(2);
+        c.insert(q("/a"), file("fa"));
+        c.insert(q("/b"), file("fb"));
+        // Peeking /a must NOT protect it: /a stays LRU and is evicted.
+        c.peek(&q("/a"));
+        c.insert(q("/c"), file("fc"));
+        assert!(c.peek(&q("/a")).is_none());
+        assert!(c.peek(&q("/b")).is_some());
+    }
+}

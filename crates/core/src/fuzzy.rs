@@ -1,0 +1,257 @@
+//! Fuzzy query matching: absorbing misspellings before lookup.
+//!
+//! The paper's conclusion (§VI) singles this out as the natural next step:
+//! indexes "still depend on the exact matching facilities of the underlying
+//! DHT", and "misspellings can often be taken care of by validating
+//! descriptors and queries against databases that store known file
+//! descriptors, such as CDDB for music files".
+//!
+//! [`FuzzyCorrector`] is that validation database: it learns the value
+//! vocabulary of published descriptors per element path, and rewrites query
+//! values whose best vocabulary match is within a bounded edit distance —
+//! so `/article/author/last/Smiht` becomes `/article/author/last/Smith`
+//! *before* it is hashed into the DHT, where exact matching takes over.
+
+use std::collections::HashMap;
+
+use p2p_index_xmldoc::{Descriptor, Element};
+use p2p_index_xpath::Query;
+
+/// Levenshtein edit distance (insertions, deletions, substitutions), over
+/// Unicode scalar values.
+///
+/// Classic two-row dynamic program; `O(|a|·|b|)` time, `O(min)` memory.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_index_core::fuzzy::levenshtein;
+///
+/// assert_eq!(levenshtein("Smith", "Smith"), 0);
+/// assert_eq!(levenshtein("Smith", "Smiht"), 2); // transposition = 2 edits
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let substitution = prev[j] + usize::from(ca != cb);
+            current[j + 1] = substitution.min(prev[j + 1] + 1).min(current[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[b.len()]
+}
+
+/// A per-field vocabulary of known descriptor values, used to correct
+/// misspelled query values.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_index_core::FuzzyCorrector;
+/// use p2p_index_xmldoc::Descriptor;
+/// use p2p_index_xpath::Query;
+///
+/// let mut corrector = FuzzyCorrector::new(2);
+/// let d = Descriptor::parse(
+///     "<article><author><first>John</first><last>Smith</last></author>\
+///      <title>TCP</title></article>",
+/// )?;
+/// corrector.learn_descriptor(&d);
+///
+/// let typo: Query = "/article/author/last/Smiht".parse()?;
+/// let fixed = corrector.correct_query(&typo);
+/// assert_eq!(fixed.to_string(), "/article/author/last/Smith");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuzzyCorrector {
+    /// Element path (joined with `/`) → known values.
+    vocabulary: HashMap<String, Vec<String>>,
+    max_distance: usize,
+}
+
+impl FuzzyCorrector {
+    /// A corrector accepting corrections up to `max_distance` edits.
+    ///
+    /// Distance 2 is a good default: it absorbs transpositions and single
+    /// typos without conflating genuinely different names.
+    pub fn new(max_distance: usize) -> FuzzyCorrector {
+        FuzzyCorrector {
+            vocabulary: HashMap::new(),
+            max_distance,
+        }
+    }
+
+    /// Learns one `(path, value)` pair, e.g.
+    /// `("article/author/last", "Smith")`.
+    pub fn learn(&mut self, path: impl Into<String>, value: impl Into<String>) {
+        let value = value.into();
+        if value.is_empty() {
+            return;
+        }
+        let values = self.vocabulary.entry(path.into()).or_default();
+        if !values.contains(&value) {
+            values.push(value);
+        }
+    }
+
+    /// Learns every `(element path, text)` pair of a descriptor. Call this
+    /// for each published file to build the validation database.
+    pub fn learn_descriptor(&mut self, descriptor: &Descriptor) {
+        fn walk(corrector: &mut FuzzyCorrector, element: &Element, path: &mut Vec<String>) {
+            path.push(element.name().to_string());
+            let text = element.text();
+            if !text.is_empty() {
+                corrector.learn(path.join("/"), text);
+            }
+            for child in element.child_elements() {
+                walk(corrector, child, path);
+            }
+            path.pop();
+        }
+        let mut path = Vec::new();
+        walk(self, descriptor.root(), &mut path);
+    }
+
+    /// Number of distinct `(path, value)` pairs learned.
+    pub fn len(&self) -> usize {
+        self.vocabulary.values().map(Vec::len).sum()
+    }
+
+    /// `true` if nothing has been learned yet.
+    pub fn is_empty(&self) -> bool {
+        self.vocabulary.is_empty()
+    }
+
+    /// The best correction for `value` at `path`, if one is needed and
+    /// available: returns `None` when the value is already known, when the
+    /// path has no vocabulary, or when no known value is within the edit
+    /// bound. Ties resolve to the lexicographically smallest candidate.
+    pub fn correct(&self, path: &str, value: &str) -> Option<&str> {
+        let values = self.vocabulary.get(path)?;
+        if values.iter().any(|v| v == value) {
+            return None;
+        }
+        values
+            .iter()
+            .map(|v| (levenshtein(v, value), v))
+            .filter(|(d, _)| *d <= self.max_distance)
+            .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Rewrites every correctable value of `query` (leaf steps and
+    /// comparison operands); unknown or already-correct values stay.
+    #[must_use]
+    pub fn correct_query(&self, query: &Query) -> Query {
+        query.map_values(|path, value| self.correct(&path.join("/"), value).map(str::to_string))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FuzzyCorrector {
+        let mut c = FuzzyCorrector::new(2);
+        let d = Descriptor::parse(
+            "<article><author><first>John</first><last>Smith</last></author>\
+             <title>TCP</title><conf>SIGCOMM</conf><year>1989</year></article>",
+        )
+        .unwrap();
+        c.learn_descriptor(&d);
+        c
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+        assert_eq!(levenshtein("Smith", "Smyth"), 1);
+        // Unicode-aware: one scalar substitution.
+        assert_eq!(levenshtein("naïve", "naive"), 1);
+    }
+
+    #[test]
+    fn learns_descriptor_vocabulary() {
+        let c = sample();
+        assert!(!c.is_empty());
+        assert_eq!(c.len(), 5); // first, last, title, conf, year
+        assert_eq!(c.correct("article/author/last", "Smith"), None); // exact
+        assert_eq!(c.correct("article/author/last", "Smiht"), Some("Smith"));
+        assert_eq!(c.correct("article/conf", "SIGCOM"), Some("SIGCOMM"));
+    }
+
+    #[test]
+    fn respects_distance_bound() {
+        let c = sample();
+        assert_eq!(c.correct("article/author/last", "Smithsonian"), None);
+        let strict = FuzzyCorrector::new(0);
+        assert_eq!(strict.correct("article/title", "TPC"), None);
+    }
+
+    #[test]
+    fn unknown_path_is_untouched() {
+        let c = sample();
+        assert_eq!(c.correct("article/publisher", "ACM"), None);
+    }
+
+    #[test]
+    fn ties_resolve_deterministically() {
+        let mut c = FuzzyCorrector::new(2);
+        c.learn("f", "aab");
+        c.learn("f", "aac");
+        // "aad" is distance 1 from both; lexicographically smallest wins.
+        assert_eq!(c.correct("f", "aad"), Some("aab"));
+    }
+
+    #[test]
+    fn correct_query_rewrites_misspellings() {
+        let c = sample();
+        let q: Query = "/article[author[first/Jonh][last/Smiht]][conf/SIGCOM]"
+            .parse()
+            .unwrap();
+        let fixed = c.correct_query(&q);
+        assert_eq!(
+            fixed.to_string(),
+            "/article[author[first/John][last/Smith]][conf/SIGCOMM]"
+        );
+    }
+
+    #[test]
+    fn correct_query_leaves_good_queries_alone() {
+        let c = sample();
+        let q: Query = "/article[title/TCP][year/1989]".parse().unwrap();
+        assert_eq!(c.correct_query(&q), q);
+    }
+
+    #[test]
+    fn correct_query_handles_comparisons() {
+        let c = sample();
+        let q: Query = "/article[conf=SIGCOM]".parse().unwrap();
+        assert_eq!(c.correct_query(&q).to_string(), "/article[conf=SIGCOMM]");
+    }
+
+    #[test]
+    fn empty_values_are_not_learned() {
+        let mut c = FuzzyCorrector::new(2);
+        c.learn("p", "");
+        assert!(c.is_empty());
+    }
+}

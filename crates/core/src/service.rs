@@ -1,0 +1,884 @@
+//! The distributed index service: publishing, lookups, search, caching.
+//!
+//! [`IndexService`] layers the paper's indexing architecture over any
+//! [`Dht`] substrate:
+//!
+//! * [`publish`](IndexService::publish) stores a file under its MSD key and
+//!   installs the scheme's query-to-query mappings (validating the covering
+//!   relation on every edge — "resilient to arbitrary linking", §IV-D);
+//! * [`lookup_step`](IndexService::lookup_step) is one user-system
+//!   interaction: it resolves the node responsible for `h(q)` and returns
+//!   the node's cached shortcuts and regular index entries for `q`;
+//! * [`search`](IndexService::search) is the *automated* lookup mode
+//!   (§IV-B): it recursively explores the indexes — generalizing first if
+//!   the query is not indexed — and returns every matching file;
+//! * [`create_shortcuts`](IndexService::create_shortcuts) implements the
+//!   adaptive cache write path for the configured [`CachePolicy`];
+//! * [`unpublish`](IndexService::unpublish) removes a file and recursively
+//!   cleans up dangling index entries (§IV-C read/write semantics).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use p2p_index_dht::{Dht, Key, NodeId};
+use p2p_index_xmldoc::Descriptor;
+use p2p_index_xpath::Query;
+
+use crate::cache::{CachePolicy, ShortcutCache};
+use crate::scheme::IndexScheme;
+use crate::target::{DecodeTargetError, IndexTarget};
+use crate::traffic::Traffic;
+
+/// Errors returned by index operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The DHT has no live nodes.
+    EmptyNetwork,
+    /// A scheme produced an edge whose source does not cover its target;
+    /// inserting it would break the index's safety invariant.
+    NotCovering {
+        /// Canonical text of the offending source query.
+        from: String,
+        /// Canonical text of the offending target query.
+        to: String,
+    },
+    /// A stored index entry failed to decode.
+    Decode(DecodeTargetError),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::EmptyNetwork => write!(f, "network has no live nodes"),
+            IndexError::NotCovering { from, to } => {
+                write!(
+                    f,
+                    "index edge violates covering: {from} does not cover {to}"
+                )
+            }
+            IndexError::Decode(e) => write!(f, "corrupt index entry: {e}"),
+        }
+    }
+}
+
+impl Error for IndexError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IndexError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeTargetError> for IndexError {
+    fn from(e: DecodeTargetError) -> Self {
+        IndexError::Decode(e)
+    }
+}
+
+/// The result of one user-system interaction ([`IndexService::lookup_step`]).
+#[derive(Debug, Clone, Default)]
+pub struct StepResponse {
+    /// The node that served the lookup.
+    pub node: Option<NodeId>,
+    /// Shortcut targets found in the node's adaptive cache.
+    pub cached: Vec<IndexTarget>,
+    /// Regular index entries stored under the query's key.
+    pub indexed: Vec<IndexTarget>,
+}
+
+impl StepResponse {
+    /// All returned targets, cached first.
+    pub fn all_targets(&self) -> impl Iterator<Item = &IndexTarget> {
+        self.cached.iter().chain(self.indexed.iter())
+    }
+
+    /// `true` when the node returned nothing — the query is not indexed.
+    pub fn is_empty(&self) -> bool {
+        self.cached.is_empty() && self.indexed.is_empty()
+    }
+}
+
+/// A file located by a search: its most specific query and its handle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FileHit {
+    /// The MSD under which the file is stored.
+    pub msd: Query,
+    /// The stored file handle.
+    pub file: String,
+}
+
+/// The outcome of an automated [`IndexService::search`].
+#[derive(Debug, Clone, Default)]
+pub struct SearchReport {
+    /// Every file whose descriptor matches the query.
+    pub files: Vec<FileHit>,
+    /// User-system interactions performed (index lookups, including the
+    /// final file fetches).
+    pub interactions: u32,
+    /// How many extra lookups were spent generalizing a non-indexed query
+    /// (0 when the query was indexed; the paper's "recoverable error" case
+    /// otherwise).
+    pub generalization_steps: u32,
+}
+
+impl SearchReport {
+    /// Did the search have to generalize (i.e. was the original query not
+    /// indexed)?
+    pub fn generalized(&self) -> bool {
+        self.generalization_steps > 0
+    }
+}
+
+/// The distributed index service over a DHT substrate.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_index_core::{CachePolicy, IndexService, SimpleScheme};
+/// use p2p_index_dht::RingDht;
+/// use p2p_index_xmldoc::Descriptor;
+///
+/// let mut service = IndexService::new(RingDht::with_named_nodes(50), CachePolicy::Single);
+/// let d = Descriptor::parse(
+///     "<article><author><first>John</first><last>Smith</last></author>\
+///      <title>TCP</title><conf>SIGCOMM</conf><year>1989</year></article>",
+/// )?;
+/// service.publish(&d, "x.pdf", &SimpleScheme)?;
+///
+/// let report = service.search(&"/article/author[first/John][last/Smith]".parse()?)?;
+/// assert_eq!(report.files.len(), 1);
+/// assert_eq!(report.files[0].file, "x.pdf");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct IndexService<D> {
+    dht: D,
+    policy: CachePolicy,
+    caches: HashMap<NodeId, ShortcutCache>,
+    traffic: Traffic,
+    node_queries: HashMap<NodeId, u64>,
+}
+
+impl<D: Dht> IndexService<D> {
+    /// Creates a service over `dht` with the given cache policy.
+    pub fn new(dht: D, policy: CachePolicy) -> Self {
+        IndexService {
+            dht,
+            policy,
+            caches: HashMap::new(),
+            traffic: Traffic::new(),
+            node_queries: HashMap::new(),
+        }
+    }
+
+    /// The DHT key of a query: `h(canonical text)`.
+    pub fn key_of(query: &Query) -> Key {
+        Key::hash_of(&query.to_string())
+    }
+
+    /// The underlying DHT (read-only).
+    pub fn dht(&self) -> &D {
+        &self.dht
+    }
+
+    /// The underlying DHT (mutable — e.g. for churn experiments).
+    pub fn dht_mut(&mut self) -> &mut D {
+        &mut self.dht
+    }
+
+    /// The active cache policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Accumulated traffic counters.
+    pub fn traffic(&self) -> &Traffic {
+        &self.traffic
+    }
+
+    /// How many lookups each node has served (the Fig. 15 hot-spot data).
+    pub fn node_query_counts(&self) -> &HashMap<NodeId, u64> {
+        &self.node_queries
+    }
+
+    /// Per-node shortcut-cache sizes, for every live node (zero when a node
+    /// has never cached anything).
+    pub fn cache_sizes(&self) -> Vec<(NodeId, usize)> {
+        self.dht
+            .nodes()
+            .into_iter()
+            .map(|n| (n, self.caches.get(&n).map_or(0, ShortcutCache::len)))
+            .collect()
+    }
+
+    /// Fraction of node caches that are at capacity / completely empty
+    /// (`(full, empty)`), over all live nodes.
+    pub fn cache_fill_fractions(&self) -> (f64, f64) {
+        let nodes = self.dht.nodes();
+        if nodes.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut full = 0usize;
+        let mut empty = 0usize;
+        for n in &nodes {
+            match self.caches.get(n) {
+                Some(c) if c.is_full() => full += 1,
+                Some(c) if c.is_empty() => empty += 1,
+                None => empty += 1,
+                _ => {}
+            }
+        }
+        (
+            full as f64 / nodes.len() as f64,
+            empty as f64 / nodes.len() as f64,
+        )
+    }
+
+    /// Zeroes the traffic and per-node counters (cache contents are kept).
+    pub fn reset_metrics(&mut self) {
+        self.traffic = Traffic::new();
+        self.node_queries.clear();
+    }
+
+    /// Publishes a file: stores it under its MSD key and installs all index
+    /// edges produced by `scheme`. Returns the MSD.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::EmptyNetwork`] without live nodes;
+    /// [`IndexError::NotCovering`] if the scheme emits an edge `(from, to)`
+    /// with `from ⋣ to` — nothing is inserted past the offending edge.
+    pub fn publish(
+        &mut self,
+        descriptor: &Descriptor,
+        file: impl Into<String>,
+        scheme: &dyn IndexScheme,
+    ) -> Result<Query, IndexError> {
+        if self.dht.is_empty() {
+            return Err(IndexError::EmptyNetwork);
+        }
+        let msd = Query::most_specific(descriptor);
+        self.dht.put(
+            Self::key_of(&msd),
+            IndexTarget::File(file.into()).to_bytes(),
+        );
+        for (from, to) in scheme.index_edges(descriptor, &msd) {
+            self.insert_mapping(from, to)?;
+        }
+        Ok(msd)
+    }
+
+    /// Installs one query-to-query mapping `(from ; to)`.
+    ///
+    /// This is also how the paper's manual "short-circuit" entries are
+    /// created — e.g. `(q₆ ; d₁)` to speed up access to a popular file.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::NotCovering`] unless `from ⊒ to`.
+    pub fn insert_mapping(&mut self, from: Query, to: Query) -> Result<(), IndexError> {
+        if !from.covers(&to) {
+            return Err(IndexError::NotCovering {
+                from: from.to_string(),
+                to: to.to_string(),
+            });
+        }
+        self.dht
+            .put(Self::key_of(&from), IndexTarget::Query(to).to_bytes());
+        Ok(())
+    }
+
+    /// One user-system interaction: asks the node responsible for `h(q)`
+    /// what it knows about `q`.
+    ///
+    /// The node answers **cache-first**: if its adaptive cache holds a
+    /// shortcut for `q` it returns just that (the §IV-C "jump") — this is
+    /// what lets popular lookups skip the long regular result lists and
+    /// makes the cache *save* bandwidth (Fig. 12). When the shortcut does
+    /// not lead to the data the user wants, the follow-up
+    /// [`lookup_step_bypassing_cache`](Self::lookup_step_bypassing_cache)
+    /// fetches the regular entries (more traffic, but the same logical
+    /// user-system interaction).
+    ///
+    /// Counts node load and normal traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::EmptyNetwork`] without live nodes; [`IndexError::Decode`]
+    /// if a stored entry is corrupt.
+    pub fn lookup_step(&mut self, query: &Query) -> Result<StepResponse, IndexError> {
+        let key = Self::key_of(query);
+        let Some(node) = self.dht.node_for(&key) else {
+            return Err(IndexError::EmptyNetwork);
+        };
+        *self.node_queries.entry(node).or_insert(0) += 1;
+
+        let cached: Vec<IndexTarget> = self
+            .caches
+            .get_mut(&node)
+            .and_then(|c| c.get(query))
+            .map(<[IndexTarget]>::to_vec)
+            .unwrap_or_default();
+
+        let indexed: Vec<IndexTarget> = if cached.is_empty() {
+            self.dht
+                .get(&key)
+                .iter()
+                .map(|b| IndexTarget::from_bytes(b))
+                .collect::<Result<_, _>>()?
+        } else {
+            Vec::new()
+        };
+
+        let request = query.to_string().len() as u64;
+        let response: u64 = cached
+            .iter()
+            .chain(indexed.iter())
+            .map(|t| t.encoded_len() as u64)
+            .sum();
+        self.traffic.record_exchange(request, response);
+
+        Ok(StepResponse {
+            node: Some(node),
+            cached,
+            indexed,
+        })
+    }
+
+    /// Like [`lookup_step`](Self::lookup_step), but skips the node's
+    /// shortcut cache and returns the regular index entries — the
+    /// follow-up a user sends when cached shortcuts did not lead to the
+    /// data they were after.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::EmptyNetwork`] without live nodes; [`IndexError::Decode`]
+    /// if a stored entry is corrupt.
+    pub fn lookup_step_bypassing_cache(
+        &mut self,
+        query: &Query,
+    ) -> Result<StepResponse, IndexError> {
+        let key = Self::key_of(query);
+        let Some(node) = self.dht.node_for(&key) else {
+            return Err(IndexError::EmptyNetwork);
+        };
+        *self.node_queries.entry(node).or_insert(0) += 1;
+        let indexed: Vec<IndexTarget> = self
+            .dht
+            .get(&key)
+            .iter()
+            .map(|b| IndexTarget::from_bytes(b))
+            .collect::<Result<_, _>>()?;
+        let request = query.to_string().len() as u64;
+        let response: u64 = indexed.iter().map(|t| t.encoded_len() as u64).sum();
+        self.traffic.record_exchange(request, response);
+        Ok(StepResponse {
+            node: Some(node),
+            cached: Vec::new(),
+            indexed,
+        })
+    }
+
+    /// Creates shortcut cache entries for a successful lookup, following
+    /// the configured policy (§IV-C / §V-D):
+    ///
+    /// * `Multi` — on every `(node, query)` step of `path`;
+    /// * `Single` / `Lru(k)` — only on the first node contacted;
+    /// * `None` — nowhere.
+    ///
+    /// Steps whose query *is* the target are skipped (a shortcut from the
+    /// MSD to itself would be useless). Returns the number of entries
+    /// created; each creation is accounted as cache traffic.
+    pub fn create_shortcuts(&mut self, path: &[(NodeId, Query)], target: &IndexTarget) -> usize {
+        if !self.policy.caches() {
+            return 0;
+        }
+        let steps: &[(NodeId, Query)] = if self.policy.caches_whole_path() {
+            path
+        } else {
+            path.get(..1.min(path.len())).unwrap_or(&[])
+        };
+        let mut created = 0;
+        for (node, query) in steps {
+            if Some(query) == target.as_query() {
+                continue;
+            }
+            let cache = self
+                .caches
+                .entry(*node)
+                .or_insert_with(|| ShortcutCache::for_policy(self.policy));
+            if cache.insert(query.clone(), target.clone()) {
+                self.traffic
+                    .record_cache_update((query.to_string().len() + target.encoded_len()) as u64);
+                created += 1;
+            }
+        }
+        created
+    }
+
+    /// Automated search (§IV-B): recursively explores the indexes and
+    /// returns *all* files matching `query`.
+    ///
+    /// If the query is not indexed anywhere, the service generalizes it —
+    /// dropping predicates breadth-first until an indexed ancestor is found
+    /// — and then specializes back down, filtering results against the
+    /// original query (§V "locating non-indexed data"). Found files always
+    /// satisfy the original query; the extra lookups are reported in
+    /// [`SearchReport::generalization_steps`].
+    ///
+    /// This method neither creates nor consults cache shortcuts: automated
+    /// exhaustive search must see the full index (shortcuts only cover
+    /// previously-searched files) and its results therefore never depend on
+    /// cache state. Interactive callers that want adaptive caching drive
+    /// [`lookup_step`](Self::lookup_step) and
+    /// [`create_shortcuts`](Self::create_shortcuts) directly (as the
+    /// simulator and [`SearchSession`](crate::SearchSession) do).
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::EmptyNetwork`] without live nodes; [`IndexError::Decode`]
+    /// on corrupt entries.
+    pub fn search(&mut self, query: &Query) -> Result<SearchReport, IndexError> {
+        let mut report = SearchReport::default();
+        let mut visited: HashSet<Query> = HashSet::new();
+        let mut queue: VecDeque<(Query, StepResponse)> = VecDeque::new();
+
+        // Phase 1: find indexed entry points — the query itself, or
+        // (for non-indexed queries) its generalizations, breadth-first.
+        let first = self.lookup_step_bypassing_cache(query)?;
+        report.interactions += 1;
+        let query_not_indexed = first.indexed.is_empty();
+        visited.insert(query.clone());
+        queue.push_back((query.clone(), first));
+        if query_not_indexed {
+            let mut seen: HashSet<Query> = HashSet::new();
+            let mut frontier: VecDeque<Query> = query.generalizations().into();
+            while let Some(g) = frontier.pop_front() {
+                if !seen.insert(g.clone()) {
+                    continue;
+                }
+                let resp = self.lookup_step_bypassing_cache(&g)?;
+                report.interactions += 1;
+                report.generalization_steps += 1;
+                if resp.indexed.is_empty() {
+                    frontier.extend(g.generalizations());
+                } else if visited.insert(g.clone()) {
+                    queue.push_back((g, resp));
+                    break;
+                }
+            }
+        }
+
+        // Phase 2: breadth-first specialization over index entries.
+        while let Some((current, resp)) = queue.pop_front() {
+            for target in resp.all_targets() {
+                match target {
+                    IndexTarget::File(f) => {
+                        // `current` is the MSD the file is stored under; it
+                        // matches the original query iff the query covers it.
+                        if query.covers(&current) {
+                            let hit = FileHit {
+                                msd: current.clone(),
+                                file: f.clone(),
+                            };
+                            if !report.files.contains(&hit) {
+                                report.files.push(hit);
+                            }
+                        }
+                    }
+                    IndexTarget::Query(q) => {
+                        if visited.insert(q.clone()) {
+                            let r = self.lookup_step_bypassing_cache(q)?;
+                            report.interactions += 1;
+                            queue.push_back((q.clone(), r));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Removes a published file and cleans up after it: the file entry is
+    /// deleted, then index mappings whose target key no longer holds any
+    /// entry are removed, cascading up the hierarchy until a fixpoint
+    /// ("when deleting the last mapping for a given key, we can recursively
+    /// delete the references to that key", §IV-C). Shortcut-cache entries
+    /// pointing at the deleted MSD are purged as well.
+    ///
+    /// Returns the MSD the file was stored under.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::EmptyNetwork`] without live nodes.
+    pub fn unpublish(
+        &mut self,
+        descriptor: &Descriptor,
+        file: &str,
+        scheme: &dyn IndexScheme,
+    ) -> Result<Query, IndexError> {
+        if self.dht.is_empty() {
+            return Err(IndexError::EmptyNetwork);
+        }
+        let msd = Query::most_specific(descriptor);
+        self.dht.remove(
+            &Self::key_of(&msd),
+            &IndexTarget::File(file.to_string()).to_bytes(),
+        );
+
+        let edges = scheme.index_edges(descriptor, &msd);
+        loop {
+            let mut changed = false;
+            for (from, to) in &edges {
+                if self.dht.get(&Self::key_of(to)).is_empty() {
+                    let entry = IndexTarget::Query(to.clone()).to_bytes();
+                    if self.dht.remove(&Self::key_of(from), &entry) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Purge dangling shortcuts.
+        let dangling = IndexTarget::Query(msd.clone());
+        for cache in self.caches.values_mut() {
+            cache.purge_target(&dangling);
+        }
+        Ok(msd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use p2p_index_dht::RingDht;
+
+    use super::*;
+    use crate::scheme::{FlatScheme, SimpleScheme};
+
+    fn descriptor(first: &str, last: &str, title: &str, conf: &str, year: &str) -> Descriptor {
+        Descriptor::parse(&format!(
+            "<article><author><first>{first}</first><last>{last}</last></author>\
+             <title>{title}</title><conf>{conf}</conf><year>{year}</year></article>"
+        ))
+        .unwrap()
+    }
+
+    fn service(policy: CachePolicy) -> IndexService<RingDht> {
+        IndexService::new(RingDht::with_named_nodes(64), policy)
+    }
+
+    fn publish_figure1(s: &mut IndexService<RingDht>, scheme: &dyn IndexScheme) {
+        s.publish(
+            &descriptor("John", "Smith", "TCP", "SIGCOMM", "1989"),
+            "x.pdf",
+            scheme,
+        )
+        .unwrap();
+        s.publish(
+            &descriptor("John", "Smith", "IPv6", "INFOCOM", "1996"),
+            "y.pdf",
+            scheme,
+        )
+        .unwrap();
+        s.publish(
+            &descriptor("Alan", "Doe", "Wavelets", "INFOCOM", "1996"),
+            "z.pdf",
+            scheme,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn publish_and_search_by_author() {
+        let mut s = service(CachePolicy::None);
+        publish_figure1(&mut s, &SimpleScheme);
+        let report = s
+            .search(&"/article/author[first/John][last/Smith]".parse().unwrap())
+            .unwrap();
+        let mut files: Vec<&str> = report.files.iter().map(|h| h.file.as_str()).collect();
+        files.sort();
+        assert_eq!(files, vec!["x.pdf", "y.pdf"]);
+        assert!(!report.generalized());
+        assert!(report.interactions >= 3);
+    }
+
+    #[test]
+    fn search_by_conference() {
+        let mut s = service(CachePolicy::None);
+        publish_figure1(&mut s, &SimpleScheme);
+        let report = s.search(&"/article/conf/INFOCOM".parse().unwrap()).unwrap();
+        let mut files: Vec<&str> = report.files.iter().map(|h| h.file.as_str()).collect();
+        files.sort();
+        assert_eq!(files, vec!["y.pdf", "z.pdf"]);
+    }
+
+    #[test]
+    fn search_via_msd_fetches_file_directly() {
+        let mut s = service(CachePolicy::None);
+        publish_figure1(&mut s, &SimpleScheme);
+        let d = descriptor("John", "Smith", "TCP", "SIGCOMM", "1989");
+        let msd = Query::most_specific(&d);
+        let report = s.search(&msd).unwrap();
+        assert_eq!(report.files.len(), 1);
+        assert_eq!(report.files[0].file, "x.pdf");
+        assert_eq!(report.interactions, 1);
+    }
+
+    #[test]
+    fn search_unmatched_query_finds_nothing() {
+        let mut s = service(CachePolicy::None);
+        publish_figure1(&mut s, &SimpleScheme);
+        let report = s
+            .search(&"/article/author/last/Nobody".parse().unwrap())
+            .unwrap();
+        assert!(report.files.is_empty());
+    }
+
+    #[test]
+    fn non_indexed_query_recovers_via_generalization() {
+        let mut s = service(CachePolicy::None);
+        publish_figure1(&mut s, &SimpleScheme);
+        // author+year is indexed by no scheme: recoverable error.
+        let q: Query = "/article[author[first/John][last/Smith]][year/1996]"
+            .parse()
+            .unwrap();
+        let report = s.search(&q).unwrap();
+        assert!(report.generalized());
+        assert_eq!(report.files.len(), 1);
+        assert_eq!(report.files[0].file, "y.pdf");
+    }
+
+    #[test]
+    fn generalization_filters_by_original_query() {
+        let mut s = service(CachePolicy::None);
+        publish_figure1(&mut s, &SimpleScheme);
+        // John Smith published in 1989 only x.pdf; generalizing to the
+        // author index must not leak the 1996 paper.
+        let q: Query = "/article[author[first/John][last/Smith]][year/1989]"
+            .parse()
+            .unwrap();
+        let report = s.search(&q).unwrap();
+        assert_eq!(report.files.len(), 1);
+        assert_eq!(report.files[0].file, "x.pdf");
+    }
+
+    #[test]
+    fn flat_scheme_needs_fewer_interactions() {
+        let mut simple = service(CachePolicy::None);
+        publish_figure1(&mut simple, &SimpleScheme);
+        let mut flat = service(CachePolicy::None);
+        publish_figure1(&mut flat, &FlatScheme);
+        let q: Query = "/article/author[first/Alan][last/Doe]".parse().unwrap();
+        let rs = simple.search(&q).unwrap();
+        let rf = flat.search(&q).unwrap();
+        assert_eq!(rs.files, rf.files);
+        assert!(rf.interactions < rs.interactions);
+    }
+
+    #[test]
+    fn insert_mapping_rejects_non_covering() {
+        let mut s = service(CachePolicy::None);
+        let err = s
+            .insert_mapping(
+                "/article/title/TCP".parse().unwrap(),
+                "/article/title/IPv6".parse().unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, IndexError::NotCovering { .. }));
+        assert!(err.to_string().contains("covering"));
+    }
+
+    #[test]
+    fn manual_short_circuit_entry() {
+        // The paper's (q6; d1) example: a direct link from a broad query to
+        // a popular file's MSD.
+        let mut s = service(CachePolicy::None);
+        publish_figure1(&mut s, &SimpleScheme);
+        let d = descriptor("John", "Smith", "TCP", "SIGCOMM", "1989");
+        let msd = Query::most_specific(&d);
+        let q6: Query = "/article/author/last/Smith".parse().unwrap();
+        s.insert_mapping(q6.clone(), msd.clone()).unwrap();
+        let resp = s.lookup_step(&q6).unwrap();
+        assert!(resp.indexed.contains(&IndexTarget::Query(msd)));
+    }
+
+    #[test]
+    fn empty_network_errors() {
+        let mut s = IndexService::new(RingDht::new(), CachePolicy::None);
+        let d = descriptor("A", "B", "T", "C", "2000");
+        assert_eq!(
+            s.publish(&d, "f", &SimpleScheme).unwrap_err(),
+            IndexError::EmptyNetwork
+        );
+        assert_eq!(
+            s.lookup_step(&"/article".parse().unwrap()).unwrap_err(),
+            IndexError::EmptyNetwork
+        );
+        assert_eq!(
+            s.unpublish(&d, "f", &SimpleScheme).unwrap_err(),
+            IndexError::EmptyNetwork
+        );
+    }
+
+    #[test]
+    fn lookup_counts_node_load_and_traffic() {
+        let mut s = service(CachePolicy::None);
+        publish_figure1(&mut s, &SimpleScheme);
+        s.reset_metrics();
+        let q: Query = "/article/author/last/Smith".parse().unwrap();
+        s.lookup_step(&q).unwrap();
+        assert_eq!(s.node_query_counts().values().sum::<u64>(), 1);
+        assert!(s.traffic().normal_bytes > 0);
+        assert_eq!(s.traffic().cache_bytes, 0);
+    }
+
+    #[test]
+    fn shortcuts_single_policy_first_node_only() {
+        let mut s = service(CachePolicy::Single);
+        publish_figure1(&mut s, &SimpleScheme);
+        let q1: Query = "/article/conf/INFOCOM".parse().unwrap();
+        let q2: Query = "/article[conf/INFOCOM][year/1996]".parse().unwrap();
+        let n1 = s
+            .dht()
+            .owner(&IndexService::<RingDht>::key_of(&q1))
+            .unwrap();
+        let n2 = s
+            .dht()
+            .owner(&IndexService::<RingDht>::key_of(&q2))
+            .unwrap();
+        let msd = Query::most_specific(&descriptor("Alan", "Doe", "Wavelets", "INFOCOM", "1996"));
+        let target = IndexTarget::Query(msd);
+        let created = s.create_shortcuts(&[(n1, q1.clone()), (n2, q2.clone())], &target);
+        assert_eq!(created, 1);
+        // Only the first node caches.
+        let resp = s.lookup_step(&q1).unwrap();
+        assert_eq!(resp.cached, vec![target]);
+        let resp2 = s.lookup_step(&q2).unwrap();
+        assert!(resp2.cached.is_empty());
+    }
+
+    #[test]
+    fn shortcuts_multi_policy_whole_path() {
+        let mut s = service(CachePolicy::Multi);
+        publish_figure1(&mut s, &SimpleScheme);
+        let q1: Query = "/article/conf/INFOCOM".parse().unwrap();
+        let q2: Query = "/article[conf/INFOCOM][year/1996]".parse().unwrap();
+        let n1 = s
+            .dht()
+            .owner(&IndexService::<RingDht>::key_of(&q1))
+            .unwrap();
+        let n2 = s
+            .dht()
+            .owner(&IndexService::<RingDht>::key_of(&q2))
+            .unwrap();
+        let msd = Query::most_specific(&descriptor("Alan", "Doe", "Wavelets", "INFOCOM", "1996"));
+        let target = IndexTarget::Query(msd);
+        let created = s.create_shortcuts(&[(n1, q1.clone()), (n2, q2.clone())], &target);
+        assert_eq!(created, 2);
+        assert!(!s.lookup_step(&q1).unwrap().cached.is_empty());
+        assert!(!s.lookup_step(&q2).unwrap().cached.is_empty());
+        assert!(s.traffic().cache_bytes > 0);
+    }
+
+    #[test]
+    fn shortcut_skips_target_query_step() {
+        let mut s = service(CachePolicy::Multi);
+        publish_figure1(&mut s, &SimpleScheme);
+        let msd = Query::most_specific(&descriptor("John", "Smith", "TCP", "SIGCOMM", "1989"));
+        let n = s
+            .dht()
+            .owner(&IndexService::<RingDht>::key_of(&msd))
+            .unwrap();
+        let created = s.create_shortcuts(&[(n, msd.clone())], &IndexTarget::Query(msd));
+        assert_eq!(created, 0);
+    }
+
+    #[test]
+    fn no_cache_policy_creates_nothing() {
+        let mut s = service(CachePolicy::None);
+        publish_figure1(&mut s, &SimpleScheme);
+        let q: Query = "/article/conf/INFOCOM".parse().unwrap();
+        let n = s.dht().owner(&IndexService::<RingDht>::key_of(&q)).unwrap();
+        let created = s.create_shortcuts(&[(n, q)], &IndexTarget::File("z.pdf".into()));
+        assert_eq!(created, 0);
+        assert_eq!(s.traffic().cache_bytes, 0);
+    }
+
+    #[test]
+    fn unpublish_removes_file_and_cascades() {
+        let mut s = service(CachePolicy::None);
+        publish_figure1(&mut s, &SimpleScheme);
+        let d1 = descriptor("John", "Smith", "TCP", "SIGCOMM", "1989");
+        s.unpublish(&d1, "x.pdf", &SimpleScheme).unwrap();
+
+        // x.pdf is gone; y.pdf still reachable through the shared author path.
+        let by_author = s
+            .search(&"/article/author[first/John][last/Smith]".parse().unwrap())
+            .unwrap();
+        let files: Vec<&str> = by_author.files.iter().map(|h| h.file.as_str()).collect();
+        assert_eq!(files, vec!["y.pdf"]);
+
+        // The title chain for TCP is fully cleaned up.
+        let by_title = s.search(&"/article/title/TCP".parse().unwrap()).unwrap();
+        assert!(by_title.files.is_empty());
+        let resp = s
+            .lookup_step(&"/article/title/TCP".parse().unwrap())
+            .unwrap();
+        assert!(resp.is_empty(), "dangling title entry should be removed");
+
+        // SIGCOMM/1989 chain also cleaned (only x.pdf used it).
+        let resp = s
+            .lookup_step(&"/article/conf/SIGCOMM".parse().unwrap())
+            .unwrap();
+        assert!(resp.is_empty());
+        // INFOCOM chain untouched.
+        let resp = s
+            .lookup_step(&"/article/conf/INFOCOM".parse().unwrap())
+            .unwrap();
+        assert!(!resp.is_empty());
+    }
+
+    #[test]
+    fn unpublish_purges_dangling_shortcuts() {
+        let mut s = service(CachePolicy::Single);
+        publish_figure1(&mut s, &SimpleScheme);
+        let d1 = descriptor("John", "Smith", "TCP", "SIGCOMM", "1989");
+        let msd = Query::most_specific(&d1);
+        let q: Query = "/article/title/TCP".parse().unwrap();
+        let n = s.dht().owner(&IndexService::<RingDht>::key_of(&q)).unwrap();
+        s.create_shortcuts(&[(n, q.clone())], &IndexTarget::Query(msd));
+        assert!(!s.lookup_step(&q).unwrap().cached.is_empty());
+        s.unpublish(&d1, "x.pdf", &SimpleScheme).unwrap();
+        assert!(s.lookup_step(&q).unwrap().cached.is_empty());
+    }
+
+    #[test]
+    fn republish_is_idempotent() {
+        let mut s = service(CachePolicy::None);
+        publish_figure1(&mut s, &SimpleScheme);
+        let before = s.dht().total_keys();
+        publish_figure1(&mut s, &SimpleScheme);
+        assert_eq!(s.dht().total_keys(), before);
+    }
+
+    #[test]
+    fn cache_sizes_and_fractions() {
+        let mut s = service(CachePolicy::Lru(10));
+        publish_figure1(&mut s, &SimpleScheme);
+        let (full, empty) = s.cache_fill_fractions();
+        assert_eq!(full, 0.0);
+        assert_eq!(empty, 1.0);
+        let q: Query = "/article/conf/INFOCOM".parse().unwrap();
+        let n = s.dht().owner(&IndexService::<RingDht>::key_of(&q)).unwrap();
+        s.create_shortcuts(&[(n, q)], &IndexTarget::File("z.pdf".into()));
+        let sizes = s.cache_sizes();
+        assert_eq!(sizes.iter().map(|(_, c)| c).sum::<usize>(), 1);
+        let (_, empty) = s.cache_fill_fractions();
+        assert!(empty < 1.0);
+    }
+}

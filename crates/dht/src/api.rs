@@ -1,0 +1,161 @@
+//! The substrate-agnostic DHT interface the indexing layer builds on.
+//!
+//! The paper stresses that its indexing techniques "can be layered on top of
+//! an arbitrary P2P DHT infrastructure". [`Dht`] captures exactly the two
+//! services the indexes need — key→node resolution and multi-value
+//! key→value storage — so the index layer compiles against this trait and
+//! runs unchanged over the full [Chord](crate::chord) protocol simulation or
+//! the fast [consistent-hash ring](crate::ring).
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::key::Key;
+
+/// Identifier of a peer node.
+///
+/// In Chord, node identifiers live in the same 160-bit circle as data keys;
+/// a node is responsible for every key in `(predecessor, self]`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(Key);
+
+impl NodeId {
+    /// Wraps a raw key as a node identifier.
+    pub fn from_key(key: Key) -> NodeId {
+        NodeId(key)
+    }
+
+    /// Derives a node identifier by hashing a node name (e.g. an address).
+    pub fn hash_of(name: &str) -> NodeId {
+        NodeId(Key::hash_of(name))
+    }
+
+    /// The position of this node on the identifier circle.
+    pub fn key(&self) -> &Key {
+        &self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Node{:?}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node:{}", &self.0.to_hex()[..12])
+    }
+}
+
+impl From<Key> for NodeId {
+    fn from(key: Key) -> Self {
+        NodeId(key)
+    }
+}
+
+/// Counters describing the work a substrate performed.
+///
+/// `messages` counts simulated network messages (RPC request/response pairs
+/// count as two); `lookups` counts key resolutions; `hops` accumulates
+/// routing hops so `hops / lookups` is the mean path length — for Chord this
+/// should concentrate around `½·log₂(N)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DhtStats {
+    /// Total simulated messages exchanged.
+    pub messages: u64,
+    /// Total key lookups performed.
+    pub lookups: u64,
+    /// Total routing hops across all lookups.
+    pub hops: u64,
+}
+
+impl DhtStats {
+    /// Mean hops per lookup, or 0.0 when no lookup happened.
+    pub fn mean_hops(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hops as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// A peer-to-peer distributed hash table with multi-value storage.
+///
+/// This is the contract assumed in §III-A of the paper: "each data item is
+/// mapped to one or several peer nodes" and the storage system must "allow
+/// for the registration of multiple entries using the same key".
+///
+/// Implementations in this crate:
+/// [`ChordNetwork`](crate::chord::ChordNetwork) (full protocol simulation) and
+/// [`RingDht`](crate::ring::RingDht) (direct consistent hashing).
+pub trait Dht {
+    /// Resolves the live node currently responsible for `key`.
+    ///
+    /// Returns `None` only when the network has no live nodes.
+    fn node_for(&self, key: &Key) -> Option<NodeId>;
+
+    /// All live nodes, in ascending identifier order.
+    fn nodes(&self) -> Vec<NodeId>;
+
+    /// Registers `value` under `key` on the responsible node.
+    ///
+    /// Multiple distinct values may be registered under one key; duplicates
+    /// are ignored. Returns `true` if the value was newly stored.
+    fn put(&mut self, key: Key, value: Bytes) -> bool;
+
+    /// Fetches every value registered under `key`.
+    fn get(&self, key: &Key) -> Vec<Bytes>;
+
+    /// Removes one specific value under `key`. Returns `true` if present.
+    fn remove(&mut self, key: &Key, value: &[u8]) -> bool;
+
+    /// Work counters accumulated since construction.
+    fn stats(&self) -> DhtStats;
+
+    /// Number of live nodes.
+    fn len(&self) -> usize {
+        self.nodes().len()
+    }
+
+    /// Returns `true` if the network has no live nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_wraps_key() {
+        let k = Key::hash_of("peer-1");
+        let n = NodeId::from_key(k);
+        assert_eq!(n.key(), &k);
+        assert_eq!(NodeId::hash_of("peer-1"), n);
+        assert_eq!(NodeId::from(k), n);
+    }
+
+    #[test]
+    fn node_id_display_is_short_hex() {
+        let n = NodeId::hash_of("peer-1");
+        let text = n.to_string();
+        assert!(text.starts_with("node:"));
+        assert_eq!(text.len(), "node:".len() + 12);
+    }
+
+    #[test]
+    fn stats_mean_hops() {
+        let s = DhtStats {
+            messages: 10,
+            lookups: 4,
+            hops: 10,
+        };
+        assert!((s.mean_hops() - 2.5).abs() < 1e-9);
+        assert_eq!(DhtStats::default().mean_hops(), 0.0);
+    }
+}

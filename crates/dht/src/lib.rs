@@ -1,0 +1,55 @@
+//! DHT substrates for the p2p-index system.
+//!
+//! This crate implements everything below the indexing layer of
+//! *Data Indexing in Peer-to-Peer DHT Networks* (Garcés-Erice et al.,
+//! ICDCS 2004):
+//!
+//! * [`hash`] — a from-scratch SHA-1, the key-derivation function;
+//! * [`key`] — the 160-bit circular identifier space with ring arithmetic;
+//! * [`storage`] — per-node multi-value key stores (the paper requires
+//!   "registration of multiple entries using the same key");
+//! * [`chord`] — a faithful Chord protocol simulation (finger routing,
+//!   join/leave/failure, stabilization, successor lists, optional
+//!   replication and replica repair);
+//! * [`kademlia`] — a Kademlia simulation (XOR metric, k-buckets,
+//!   iterative α-parallel lookups, re-publication), the libp2p-style
+//!   substrate;
+//! * [`pastry`] — a Pastry simulation (prefix routing, leaf sets,
+//!   PAST-style leaf-set replication), the substrate the paper names
+//!   alongside Chord;
+//! * [`ring`] — a direct consistent-hash ring with identical key placement,
+//!   used where the substrate is assumed rather than studied;
+//! * [`api`] — the [`Dht`] trait both substrates implement, which is all the
+//!   indexing layer ever sees.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bytes::Bytes;
+//! use p2p_index_dht::{Dht, Key, RingDht};
+//!
+//! let mut dht = RingDht::with_named_nodes(64);
+//! let key = Key::hash_of("hello");
+//! dht.put(key, Bytes::from_static(b"world"));
+//! assert_eq!(dht.get(&key), vec![Bytes::from_static(b"world")]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod chord;
+pub mod hash;
+pub mod kademlia;
+pub mod key;
+pub mod pastry;
+pub mod ring;
+pub mod storage;
+
+pub use api::{Dht, DhtStats, NodeId};
+pub use chord::{ChordConfig, ChordError, ChordNetwork};
+pub use kademlia::{KademliaConfig, KademliaNetwork};
+pub use key::{Key, KEY_BITS};
+pub use pastry::{PastryConfig, PastryNetwork};
+pub use ring::RingDht;
+pub use storage::NodeStore;

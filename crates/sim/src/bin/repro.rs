@@ -1,0 +1,141 @@
+//! `repro` — regenerate any table or figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <exhibit> [--small] [--nodes N] [--articles N] [--queries N]
+//!                 [--seed N] [--csv DIR]
+//!
+//! exhibits: fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1 storage all
+//! ```
+//!
+//! Default scale is the paper's (500 nodes, 10 000 articles, 50 000
+//! queries); `--small` runs a fast scaled-down version with the same
+//! qualitative shapes.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use p2p_index_sim::experiments::{self, EvalConfig, Evaluation};
+use p2p_index_sim::table::TextTable;
+
+struct Args {
+    exhibit: String,
+    config: EvalConfig,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let exhibit = args.next().ok_or_else(usage)?;
+    let mut config = EvalConfig::paper();
+    let mut csv_dir = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--small" => config = EvalConfig::small(),
+            "--nodes" => config.nodes = parse_num(args.next(), "--nodes")?,
+            "--articles" => config.articles = parse_num(args.next(), "--articles")?,
+            "--queries" => config.queries = parse_num(args.next(), "--queries")?,
+            "--seed" => config.seed = parse_num(args.next(), "--seed")? as u64,
+            "--csv" => csv_dir = Some(PathBuf::from(args.next().ok_or("--csv needs a directory")?)),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        exhibit,
+        config,
+        csv_dir,
+    })
+}
+
+fn parse_num(value: Option<String>, flag: &str) -> Result<usize, String> {
+    value
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
+fn usage() -> String {
+    "usage: repro <fig7|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|storage|ext-structures|ext-churn|all> \
+     [--small] [--nodes N] [--articles N] [--queries N] [--seed N] [--csv DIR]"
+        .to_string()
+}
+
+fn emit(table: &TextTable, csv_dir: &Option<PathBuf>, name: &str) {
+    print!("{}", table.to_text());
+    println!();
+    if let Some(dir) = csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        match std::fs::write(&path, table.to_csv()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = args.config;
+    eprintln!(
+        "# scale: {} nodes, {} articles, {} queries (seed {})",
+        cfg.nodes, cfg.articles, cfg.queries, cfg.seed
+    );
+    let mut eval = Evaluation::new(cfg);
+    let csv = &args.csv_dir;
+
+    let run = |name: &str, eval: &mut Evaluation| -> bool {
+        match name {
+            "fig7" => emit(&experiments::fig7_query_mix(), csv, "fig7"),
+            "fig9" => emit(&experiments::fig9_popularity(), csv, "fig9"),
+            "fig10" => emit(&experiments::fig10_ccdf(), csv, "fig10"),
+            "fig11" => emit(&experiments::fig11_interactions(eval), csv, "fig11"),
+            "fig12" => emit(&experiments::fig12_traffic(eval), csv, "fig12"),
+            "fig13" => emit(&experiments::fig13_hit_ratio(eval), csv, "fig13"),
+            "fig14" => emit(&experiments::fig14_cache_storage(eval), csv, "fig14"),
+            "fig15" => emit(&experiments::fig15_hotspots(eval), csv, "fig15"),
+            "table1" => emit(&experiments::table1_errors(eval), csv, "table1"),
+            "storage" => emit(&experiments::storage_overhead(&cfg), csv, "storage"),
+            "ext-structures" => emit(
+                &experiments::ext_structure_breakdown(eval),
+                csv,
+                "ext_structures",
+            ),
+            "ext-churn" => emit(&experiments::ext_churn(&cfg), csv, "ext_churn"),
+            _ => return false,
+        }
+        true
+    };
+
+    if args.exhibit == "all" {
+        for name in [
+            "fig7",
+            "fig9",
+            "fig10",
+            "storage",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "table1",
+            "ext-structures",
+            "ext-churn",
+        ] {
+            run(name, &mut eval);
+        }
+        ExitCode::SUCCESS
+    } else if run(&args.exhibit.clone(), &mut eval) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("unknown exhibit {:?}\n{}", args.exhibit, usage());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,192 @@
+//! Plain-text table and CSV rendering for experiment reports.
+//!
+//! Every experiment renders through [`TextTable`] so the `repro` binary and
+//! the benches print the same rows the paper's figures plot, plus a CSV
+//! form for external plotting.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table with a title.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>) -> TextTable {
+        TextTable {
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn header<S: Into<String>>(&mut self, columns: impl IntoIterator<Item = S>) -> &mut Self {
+        self.header = columns.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one row.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", render_row(&self.header, &widths));
+            let _ = writeln!(
+                out,
+                "{}",
+                widths
+                    .iter()
+                    .map(|w| "-".repeat(*w))
+                    .collect::<Vec<_>>()
+                    .join("-+-")
+            );
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the CSV form (header + rows, comma-separated, quoted as
+    /// needed).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", csv_row(&self.header));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", csv_row(row));
+        }
+        out
+    }
+}
+
+fn render_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            format!(
+                "{:<width$}",
+                c,
+                width = widths.get(i).copied().unwrap_or(c.len())
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+fn csv_row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt_f(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn fmt_pct(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TextTable {
+        let mut t = TextTable::new("Demo");
+        t.header(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["beta, with comma", "2"]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_aligns() {
+        let text = sample().to_text();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("name"));
+        assert!(text.contains("alpha"));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header, separator, two rows, title.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("\"beta, with comma\""));
+        assert!(csv.starts_with("name,value"));
+    }
+
+    #[test]
+    fn csv_escapes_quotes() {
+        let mut t = TextTable::new("q");
+        t.row(["say \"hi\""]);
+        assert!(t.to_csv().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(0.756), "75.6%");
+        assert!(!sample().is_empty());
+        assert_eq!(sample().len(), 2);
+        assert_eq!(sample().title(), "Demo");
+    }
+
+    #[test]
+    fn ragged_rows_tolerated() {
+        let mut t = TextTable::new("r");
+        t.header(["a"]);
+        t.row(["1", "2", "3"]);
+        let text = t.to_text();
+        assert!(text.contains('3'));
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload models for the p2p-index evaluation.
+//!
+//! The paper's evaluation (§V) drives a distributed bibliographic database
+//! with realistic user behaviour derived from the DBLP archive and the
+//! BibFinder/NetBib query logs. Those datasets are not distributable, so
+//! this crate reproduces the *models* the paper itself reduces them to:
+//!
+//! * [`corpus`] — a synthetic DBLP-like article corpus (Fig. 1 schema,
+//!   power-law papers-per-author, deterministic by seed);
+//! * [`popularity`] — the fitted article-ranking distribution
+//!   `F̄(i) = 1 − 0.063·i^0.3` of Fig. 10 and generic Zipf models (Fig. 9);
+//! * [`querymodel`] — the query-structure mixes (the §V-C simulation mix
+//!   and the Fig. 7 BibFinder histogram) and the workload generator.
+//!
+//! # Quick start
+//!
+//! ```
+//! use p2p_index_workload::{Corpus, CorpusConfig, QueryGenerator, StructureMix};
+//!
+//! let corpus = Corpus::generate(CorpusConfig { articles: 1000, ..Default::default() });
+//! let mut workload = QueryGenerator::new(&corpus, StructureMix::paper_simulation(), 42);
+//! for item in workload.take_queries(10) {
+//!     let target = corpus.article(item.target).unwrap();
+//!     assert!(item.query.matches(target.descriptor().root()));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod popularity;
+pub mod querymodel;
+
+pub use corpus::{Article, Corpus, CorpusConfig};
+pub use popularity::{PaperCcdf, ZipfPopularity};
+pub use querymodel::{GeneratedQuery, QueryGenerator, QueryStructure, StructureMix};

@@ -1,0 +1,291 @@
+//! Popularity models: who gets asked for, how often.
+//!
+//! The paper observes (Fig. 9) that author and article popularities in the
+//! BibFinder/NetBib/CiteSeer traces "follow roughly a power-law", fits the
+//! BibFinder author probabilities, and derives for its finite population of
+//! 10 000 articles the complementary cumulative distribution function
+//!
+//! ```text
+//! F̄(i) = 1 − F(i) = 1 − 0.063 · i^0.3        (Fig. 10)
+//! ```
+//!
+//! [`PaperCcdf`] is exactly that fitted model with inverse-CDF sampling;
+//! [`ZipfPopularity`] is the generic ranked power law used for Fig. 9
+//! series and for the papers-per-author skew.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The paper's fitted article-ranking distribution,
+/// `F(i) = 0.063 · i^0.3` over ranks `1..=n`.
+///
+/// With the paper's `n = 10 000`, `F(n) ≈ 0.9986`; the residual mass is
+/// assigned to the last rank so sampling is exact.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_index_workload::PaperCcdf;
+///
+/// let model = PaperCcdf::new(10_000);
+/// // Skew: ~6.3% of all requests go to the single most popular article...
+/// assert!((model.cdf(1) - 0.063).abs() < 1e-9);
+/// // ...and the CCDF of Figure 10 decays towards 0 at the tail.
+/// assert!(model.ccdf(10_000) < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperCcdf {
+    n: usize,
+    coefficient: f64,
+    exponent: f64,
+}
+
+impl PaperCcdf {
+    /// The paper's fitted constants.
+    pub const COEFFICIENT: f64 = 0.063;
+    /// The paper's fitted exponent.
+    pub const EXPONENT: f64 = 0.3;
+
+    /// The model over ranks `1..=n` with the paper's constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> PaperCcdf {
+        Self::with_parameters(n, Self::COEFFICIENT, Self::EXPONENT)
+    }
+
+    /// A power-law CDF `F(i) = k·i^e` with custom constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the parameters are non-positive.
+    pub fn with_parameters(n: usize, coefficient: f64, exponent: f64) -> PaperCcdf {
+        assert!(n > 0, "population must be non-empty");
+        assert!(
+            coefficient > 0.0 && exponent > 0.0,
+            "parameters must be positive"
+        );
+        PaperCcdf {
+            n,
+            coefficient,
+            exponent,
+        }
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the population is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `F(i)`: probability that a request hits rank ≤ `i` (clamped to 1).
+    pub fn cdf(&self, rank: usize) -> f64 {
+        if rank >= self.n {
+            return 1.0;
+        }
+        (self.coefficient * (rank as f64).powf(self.exponent)).min(1.0)
+    }
+
+    /// `F̄(i) = 1 − F(i)`: the Fig. 10 curve.
+    pub fn ccdf(&self, rank: usize) -> f64 {
+        1.0 - self.cdf(rank)
+    }
+
+    /// Probability mass of exactly rank `i` (1-based).
+    pub fn prob(&self, rank: usize) -> f64 {
+        if rank == 0 || rank > self.n {
+            return 0.0;
+        }
+        self.cdf(rank) - self.cdf(rank - 1)
+    }
+
+    /// Samples a rank in `1..=n` by inverting the CDF:
+    /// `i = (u / k)^(1/e)`, rounded up and clamped.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        let raw = (u / self.coefficient).powf(1.0 / self.exponent);
+        (raw.ceil() as usize).clamp(1, self.n)
+    }
+}
+
+/// Classic ranked Zipf popularity: `p_i ∝ 1/i^alpha` over `n` ranks.
+///
+/// Used for the Fig. 9 author/title popularity series and anywhere a
+/// generic skewed choice is needed.
+#[derive(Debug, Clone)]
+pub struct ZipfPopularity {
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl ZipfPopularity {
+    /// Builds the distribution over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, alpha: f64) -> ZipfPopularity {
+        assert!(n > 0, "population must be non-empty");
+        ZipfPopularity {
+            cdf: crate::corpus::zipf_cdf(n, alpha),
+            alpha,
+        }
+    }
+
+    /// The exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if the population is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of rank `i` (1-based).
+    pub fn prob(&self, rank: usize) -> f64 {
+        if rank == 0 || rank > self.cdf.len() {
+            return 0.0;
+        }
+        let hi = self.cdf[rank - 1];
+        let lo = if rank >= 2 { self.cdf[rank - 2] } else { 0.0 };
+        hi - lo
+    }
+
+    /// Samples a 0-based rank index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        crate::corpus::sample_cdf(&self.cdf, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn paper_constants_reach_one_at_population_edge() {
+        let m = PaperCcdf::new(10_000);
+        // F(10000) = 0.063 * 10000^0.3 ≈ 0.9986: the paper's remark that
+        // "using only 10,000 articles does not change significantly the
+        // behavior of the model".
+        let f = 0.063f64 * 10_000f64.powf(0.3);
+        assert!((f - 0.9986).abs() < 1e-3);
+        assert_eq!(m.cdf(10_000), 1.0);
+        assert_eq!(m.ccdf(10_000), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let m = PaperCcdf::new(1000);
+        for i in 1..1000 {
+            assert!(m.cdf(i) <= m.cdf(i + 1), "rank {i}");
+        }
+    }
+
+    #[test]
+    fn probs_sum_to_one() {
+        let m = PaperCcdf::new(500);
+        let sum: f64 = (1..=500).map(|i| m.prob(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(m.prob(0), 0.0);
+        assert_eq!(m.prob(501), 0.0);
+    }
+
+    #[test]
+    fn sampling_matches_cdf() {
+        let m = PaperCcdf::new(10_000);
+        let mut rng = StdRng::seed_from_u64(99);
+        let samples = 200_000;
+        let mut top1 = 0usize;
+        let mut top100 = 0usize;
+        for _ in 0..samples {
+            let r = m.sample(&mut rng);
+            assert!((1..=10_000).contains(&r));
+            if r == 1 {
+                top1 += 1;
+            }
+            if r <= 100 {
+                top100 += 1;
+            }
+        }
+        let f1 = top1 as f64 / samples as f64;
+        let f100 = top100 as f64 / samples as f64;
+        assert!(
+            (f1 - m.cdf(1)).abs() < 0.01,
+            "P(rank 1) ≈ {f1}, want {}",
+            m.cdf(1)
+        );
+        assert!((f100 - m.cdf(100)).abs() < 0.01, "P(rank ≤ 100) ≈ {f100}");
+    }
+
+    #[test]
+    fn skew_a_few_articles_dominate() {
+        // "A few articles appear in many queries".
+        let m = PaperCcdf::new(10_000);
+        assert!(
+            m.cdf(100) > 0.24,
+            "top 1% of articles draw ≥ 24% of requests"
+        );
+    }
+
+    #[test]
+    fn zipf_probs_decrease_with_rank() {
+        let z = ZipfPopularity::new(100, 1.0);
+        assert!(z.prob(1) > z.prob(2));
+        assert!(z.prob(2) > z.prob(50));
+        let sum: f64 = (1..=100).map(|i| z.prob(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(z.alpha(), 1.0);
+        assert_eq!(z.len(), 100);
+    }
+
+    #[test]
+    fn zipf_sampling_is_skewed() {
+        let z = ZipfPopularity::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hits0 = 0;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) == 0 {
+                hits0 += 1;
+            }
+        }
+        // p(rank 1) = 1/H(1000) ≈ 0.133.
+        assert!(hits0 > 800 && hits0 < 1900, "rank-0 hits {hits0}");
+    }
+
+    #[test]
+    fn zipf_loglog_is_roughly_linear() {
+        // The Fig. 9 shape check: log(prob) vs log(rank) has ~constant slope.
+        let z = ZipfPopularity::new(10_000, 0.8);
+        let s1 = (z.prob(10).ln() - z.prob(1).ln()) / (10f64.ln() - 1f64.ln());
+        let s2 = (z.prob(1000).ln() - z.prob(100).ln()) / (1000f64.ln() - 100f64.ln());
+        assert!((s1 - s2).abs() < 0.05, "slopes {s1} vs {s2}");
+        assert!((s1 + 0.8).abs() < 0.1, "slope should be ≈ -alpha");
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be non-empty")]
+    fn empty_population_panics() {
+        let _ = PaperCcdf::new(0);
+    }
+
+    #[test]
+    fn custom_parameters() {
+        let m = PaperCcdf::with_parameters(100, 0.1, 0.5);
+        assert!((m.cdf(1) - 0.1).abs() < 1e-12);
+        assert_eq!(m.len(), 100);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests: serialization/parsing round-trips on arbitrary trees.
+
+use p2p_index_xmldoc::{parse, Element, XmlNode};
+use proptest::prelude::*;
+
+/// Arbitrary element names: short lowercase identifiers.
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,7}"
+}
+
+/// Arbitrary text content, including XML-special characters.
+fn arb_text() -> impl Strategy<Value = String> {
+    // Printable-ish strings with specials; avoid raw control chars and
+    // whitespace-only runs (the parser drops insignificant whitespace).
+    "[ -~]{1,24}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty", |s| !s.is_empty())
+}
+
+fn arb_element() -> impl Strategy<Value = Element> {
+    let leaf = (arb_name(), proptest::option::of(arb_text())).prop_map(|(name, text)| match text {
+        Some(t) => Element::with_text(name, t),
+        None => Element::new(name),
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (n, v) in attrs {
+                    e.push_attribute(n, v);
+                }
+                for c in children {
+                    e.push_child(XmlNode::Element(c));
+                }
+                e
+            })
+    })
+}
+
+/// Normalizes for comparison: the writer emits text trimmed, and the
+/// parser drops whitespace-only runs, so compare canonical forms.
+fn canonical(e: &Element) -> Element {
+    e.canonicalize()
+}
+
+proptest! {
+    /// Writing then parsing is the identity on canonical trees.
+    #[test]
+    fn write_parse_roundtrip(e in arb_element()) {
+        let text = e.to_xml();
+        let parsed = parse(&text).expect("writer output must parse");
+        prop_assert_eq!(canonical(&parsed), canonical(&e));
+    }
+
+    /// Pretty-printing parses back to the same canonical tree.
+    #[test]
+    fn pretty_parse_roundtrip(e in arb_element()) {
+        let text = e.to_xml_pretty();
+        let parsed = parse(&text).expect("pretty output must parse");
+        prop_assert_eq!(canonical(&parsed), canonical(&e));
+    }
+
+    /// Canonicalization is idempotent and order-insensitive.
+    #[test]
+    fn canonicalize_idempotent(e in arb_element()) {
+        let once = e.canonicalize();
+        prop_assert_eq!(once.canonicalize(), once);
+    }
+
+    /// Parsing never panics on arbitrary input (fuzz-light).
+    #[test]
+    fn parse_never_panics(s in "[ -~]{0,64}") {
+        let _ = parse(&s);
+    }
+
+    /// Escape round-trips through a text node.
+    #[test]
+    fn escape_roundtrip(t in arb_text()) {
+        let e = Element::with_text("t", t.clone());
+        let parsed = parse(&e.to_xml()).expect("escaped text parses");
+        prop_assert_eq!(parsed.text(), t.trim());
+    }
+}

@@ -1,0 +1,275 @@
+//! Programmatic query construction.
+//!
+//! Index schemes generate queries from descriptors ("we generate a set of
+//! queries Q = {q₁ … qₗ} likely to be asked by users", §IV). Doing that by
+//! string formatting would be fragile; [`QueryBuilder`] builds normalized
+//! queries directly, merging shared path prefixes so that
+//! `author/first + author/last` become predicates of one `author` branch —
+//! the shape of the paper's q₁/q₃.
+//!
+//! [`Query::most_specific`] derives the MSD — "the most specific query for
+//! d" — from a descriptor, the query that is `≡ d` and hashes to the file's
+//! storage key.
+
+use p2p_index_xmldoc::{Descriptor, Element};
+
+use crate::ast::{Axis, CmpOp, Comparison, NameTest, Pattern, Query};
+
+/// Incrementally builds a [`Query`].
+///
+/// Paths passed as `/`-separated strings are merged on shared prefixes.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_index_xpath::{CmpOp, QueryBuilder};
+///
+/// let q = QueryBuilder::new("article")
+///     .value("author/first", "John")
+///     .value("author/last", "Smith")
+///     .compare("year", CmpOp::Ge, "1990")
+///     .build();
+/// assert_eq!(
+///     q.to_string(),
+///     "/article[author[first/John][last/Smith]][year>=1990]"
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    root: Pattern,
+}
+
+impl QueryBuilder {
+    /// Starts a query rooted at element `root` (e.g. `"article"`).
+    pub fn new(root: impl Into<String>) -> QueryBuilder {
+        QueryBuilder {
+            root: Pattern::leaf(Axis::Child, NameTest::Name(root.into())),
+        }
+    }
+
+    /// Requires the element at `path` to have text equal to `value`
+    /// (a value-leaf step, `…/title/TCP` style).
+    #[must_use]
+    pub fn value(mut self, path: &str, value: impl Into<String>) -> QueryBuilder {
+        let node = Self::descend(&mut self.root, path);
+        node.children
+            .push(Pattern::leaf(Axis::Child, NameTest::Name(value.into())));
+        self
+    }
+
+    /// Requires the element at `path` to exist.
+    #[must_use]
+    pub fn exists(mut self, path: &str) -> QueryBuilder {
+        let _ = Self::descend(&mut self.root, path);
+        self
+    }
+
+    /// Constrains the text of the element at `path` with `op value`
+    /// (`[year>=1990]` style).
+    #[must_use]
+    pub fn compare(mut self, path: &str, op: CmpOp, value: impl Into<String>) -> QueryBuilder {
+        let node = Self::descend(&mut self.root, path);
+        node.comparison = Some(Comparison {
+            op,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Adds a pre-built branch under the root *without* prefix merging —
+    /// needed e.g. to constrain two different `author` elements separately.
+    #[must_use]
+    pub fn branch(
+        mut self,
+        branch_root: &str,
+        f: impl FnOnce(QueryBuilder) -> QueryBuilder,
+    ) -> QueryBuilder {
+        let sub = f(QueryBuilder::new(branch_root));
+        self.root.children.push(sub.root);
+        self
+    }
+
+    /// Finalizes and normalizes the query.
+    pub fn build(self) -> Query {
+        Query::from_root(self.root)
+    }
+
+    /// Walks (creating as needed) the child chain for `path`, merging with
+    /// existing comparison-free branches, and returns the final node.
+    fn descend<'a>(mut node: &'a mut Pattern, path: &str) -> &'a mut Pattern {
+        for step in path.split('/').filter(|s| !s.is_empty()) {
+            let pos = node.children.iter().position(|c| {
+                c.axis == Axis::Child
+                    && c.comparison.is_none()
+                    && matches!(&c.test, NameTest::Name(n) if n == step)
+            });
+            let idx = match pos {
+                Some(i) => i,
+                None => {
+                    node.children
+                        .push(Pattern::leaf(Axis::Child, NameTest::Name(step.to_string())));
+                    node.children.len() - 1
+                }
+            };
+            node = &mut node.children[idx];
+        }
+        node
+    }
+}
+
+impl Query {
+    /// The most specific query (MSD) for a descriptor: the query that tests
+    /// the presence of every element and value of `d`, so that `q ≡ d`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use p2p_index_xmldoc::Descriptor;
+    /// use p2p_index_xpath::Query;
+    ///
+    /// let d = Descriptor::parse("<article><title>TCP</title><year>1989</year></article>")?;
+    /// let msd = Query::most_specific(&d);
+    /// assert!(msd.matches(d.root()));
+    /// assert_eq!(msd.to_string(), "/article[title/TCP][year/1989]");
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn most_specific(descriptor: &Descriptor) -> Query {
+        Query::from_root(element_to_pattern(descriptor.root()))
+    }
+}
+
+fn element_to_pattern(e: &Element) -> Pattern {
+    let mut node = Pattern::leaf(Axis::Child, NameTest::Name(e.name().to_string()));
+    let text = e.text();
+    if !text.is_empty() {
+        node.children
+            .push(Pattern::leaf(Axis::Child, NameTest::Name(text)));
+    }
+    for child in e.child_elements() {
+        node.children.push(element_to_pattern(child));
+    }
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use p2p_index_xmldoc::Descriptor;
+
+    use super::*;
+    use crate::parse::parse_query;
+
+    #[test]
+    fn builder_merges_prefixes() {
+        let q = QueryBuilder::new("article")
+            .value("author/first", "John")
+            .value("author/last", "Smith")
+            .value("conf", "INFOCOM")
+            .build();
+        assert_eq!(
+            q,
+            parse_query("/article[author[first/John][last/Smith]][conf/INFOCOM]").unwrap()
+        );
+    }
+
+    #[test]
+    fn builder_exists_and_compare() {
+        let q = QueryBuilder::new("article")
+            .exists("title")
+            .compare("year", CmpOp::Lt, "2000")
+            .build();
+        assert_eq!(q.to_string(), "/article[title][year<2000]");
+    }
+
+    #[test]
+    fn builder_branch_keeps_branches_separate() {
+        let q = QueryBuilder::new("article")
+            .branch("author", |b| b.value("last", "Smith"))
+            .branch("author", |b| b.value("last", "Doe"))
+            .build();
+        assert_eq!(
+            q.to_string(),
+            "/article[author/last/Doe][author/last/Smith]"
+        );
+    }
+
+    #[test]
+    fn builder_empty_path_is_root() {
+        let q = QueryBuilder::new("article").value("", "X").build();
+        assert_eq!(q.to_string(), "/article/X");
+    }
+
+    #[test]
+    fn msd_matches_and_roundtrips() {
+        let d = Descriptor::parse(
+            "<article><author><first>John</first><last>Smith</last></author>\
+             <title>TCP</title><conf>SIGCOMM</conf><year>1989</year><size>315635</size></article>",
+        )
+        .unwrap();
+        let msd = Query::most_specific(&d);
+        assert!(msd.matches(d.root()));
+        // Canonical text reparses to the same query.
+        assert_eq!(parse_query(&msd.to_string()).unwrap(), msd);
+        // The MSD from the paper's q1 equals the generated one.
+        let q1 = parse_query(
+            "/article[author[first/John][last/Smith]][title/TCP][conf/SIGCOMM][year/1989][size/315635]",
+        )
+        .unwrap();
+        assert_eq!(msd, q1);
+    }
+
+    #[test]
+    fn msd_is_covered_by_partial_queries() {
+        let d = Descriptor::parse(
+            "<article><author><first>John</first><last>Smith</last></author>\
+             <title>IPv6</title><conf>INFOCOM</conf><year>1996</year></article>",
+        )
+        .unwrap();
+        let msd = Query::most_specific(&d);
+        for broad in [
+            "/article/author/last/Smith",
+            "/article/conf/INFOCOM",
+            "/article[author[first/John][last/Smith]][conf/INFOCOM]",
+            "/article[year>=1990]",
+        ] {
+            assert!(parse_query(broad).unwrap().covers(&msd), "{broad}");
+        }
+        assert!(!parse_query("/article/conf/SIGCOMM").unwrap().covers(&msd));
+    }
+
+    #[test]
+    fn msd_of_multi_author_descriptor() {
+        let d = Descriptor::parse(
+            "<article><author><first>A</first><last>B</last></author>\
+             <author><first>C</first><last>D</last></author><title>T</title></article>",
+        )
+        .unwrap();
+        let msd = Query::most_specific(&d);
+        assert!(msd.matches(d.root()));
+        assert_eq!(msd.top_branches().len(), 3);
+        // Each author query covers the MSD.
+        assert!(parse_query("/article/author[first/A][last/B]")
+            .unwrap()
+            .covers(&msd));
+        assert!(parse_query("/article/author[first/C][last/D]")
+            .unwrap()
+            .covers(&msd));
+        assert!(!parse_query("/article/author[first/A][last/D]")
+            .unwrap()
+            .covers(&msd));
+    }
+
+    #[test]
+    fn msd_with_mixed_text_and_children() {
+        let d = Descriptor::parse("<note>remember<when>today</when></note>").unwrap();
+        let msd = Query::most_specific(&d);
+        assert!(msd.matches(d.root()));
+        assert!(msd.to_string().contains("remember"));
+    }
+
+    #[test]
+    fn distinct_descriptors_distinct_msds() {
+        let a = Descriptor::parse("<article><title>X</title></article>").unwrap();
+        let b = Descriptor::parse("<article><title>Y</title></article>").unwrap();
+        assert_ne!(Query::most_specific(&a), Query::most_specific(&b));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests on the query language itself: parser totality, canonical
+//! stability, and structural invariants of normalization.
+
+use p2p_index_xpath::{parse_query, Axis, CmpOp, Query, QueryBuilder};
+use proptest::prelude::*;
+
+fn arb_field() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("author/first".to_string()),
+        Just("author/last".to_string()),
+        Just("title".to_string()),
+        Just("conf".to_string()),
+        Just("year".to_string()),
+        Just("journal/volume".to_string()),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[A-Za-z][A-Za-z0-9]{0,10}",
+        "[0-9]{1,4}",
+        // Values needing quoting.
+        "[A-Za-z]{1,5} [A-Za-z]{1,5}",
+        "[A-Za-z]{1,3}\"[A-Za-z]{1,3}",
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::StartsWith),
+        Just(CmpOp::Contains),
+    ]
+}
+
+/// Random queries through the builder (always well-formed).
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        proptest::collection::vec((arb_field(), arb_value()), 0..4),
+        proptest::collection::vec((arb_field(), arb_op(), arb_value()), 0..2),
+    )
+        .prop_map(|(values, comparisons)| {
+            let mut b = QueryBuilder::new("article");
+            for (f, v) in values {
+                b = b.value(&f, v);
+            }
+            for (f, op, v) in comparisons {
+                b = b.compare(&f, op, v);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    /// The canonical text of any query parses back to the same query —
+    /// the property that makes h(q) well-defined.
+    #[test]
+    fn canonical_text_is_stable(q in arb_query()) {
+        let text = q.to_string();
+        let reparsed = parse_query(&text).expect("canonical text parses");
+        prop_assert_eq!(&reparsed, &q);
+        prop_assert_eq!(reparsed.to_string(), text);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(s in "[ -~]{0,64}") {
+        let _ = parse_query(&s);
+    }
+
+    /// Parsing whitespace-padded canonical text yields the same query.
+    #[test]
+    fn whitespace_insensitive(q in arb_query()) {
+        let padded: String = q
+            .to_string()
+            .chars()
+            .flat_map(|c| if c == '[' { vec!['[', ' '] } else { vec![c] })
+            .collect();
+        prop_assert_eq!(parse_query(&padded).expect("padded parses"), q);
+    }
+
+    /// Size and depth are consistent with the pattern structure.
+    #[test]
+    fn size_and_depth_bounds(q in arb_query()) {
+        prop_assert!(q.size() >= 1);
+        prop_assert!(q.depth() >= 1);
+        prop_assert!(q.depth() <= q.size());
+        // Dropping a branch strictly shrinks the size.
+        for g in q.generalizations() {
+            prop_assert!(g.size() < q.size());
+        }
+    }
+
+    /// Normalized queries have sorted, deduplicated branches at the root.
+    #[test]
+    fn branches_sorted_and_unique(q in arb_query()) {
+        let branches = q.top_branches();
+        for w in branches.windows(2) {
+            prop_assert!(w[0] < w[1], "branches must be strictly ascending");
+        }
+    }
+
+    /// The root axis of builder queries is Child and the root name sticks.
+    #[test]
+    fn root_invariants(q in arb_query()) {
+        prop_assert_eq!(q.root().axis(), Axis::Child);
+        prop_assert_eq!(q.root_name(), Some("article"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Keyword and prefix search with the extended query operators.
+//!
+//! Demonstrates the §IV-C substring-indexing extensions: initial-letter
+//! author entries (`[author/last^=G]`) and per-word title keywords
+//! (`[title*=Routing]`), plus the interactive `SearchSession` API driving
+//! a refinement dialogue over them.
+//!
+//! Run with: `cargo run --example keyword_search`
+
+use p2p_index::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = Corpus::generate(CorpusConfig {
+        articles: 250,
+        author_pool: 60,
+        seed: 21,
+        ..CorpusConfig::default()
+    });
+
+    // Stack the two decorators over the simple scheme: initial-letter
+    // author entries + title keywords of 4+ characters.
+    let scheme = KeywordTitleScheme::new(InitialLetterScheme::new(SimpleScheme, 1), 4);
+    let mut service = IndexService::new(RingDht::with_named_nodes(120), CachePolicy::Single);
+    for article in corpus.articles() {
+        service.publish(&article.descriptor(), article.file_name(), &scheme)?;
+    }
+
+    // --- Keyword search: find everything about "Routing" -----------------
+    let keyword: Query = "/article[title*=Routing]".parse()?;
+    let report = service.search(&keyword)?;
+    let expected = corpus
+        .articles()
+        .iter()
+        .filter(|a| a.title.contains("Routing"))
+        .count();
+    println!(
+        "keyword query {keyword}: {} articles ({} in corpus), {} interactions",
+        report.files.len(),
+        expected,
+        report.interactions
+    );
+    assert_eq!(report.files.len(), expected);
+
+    // --- Initial-letter browsing -----------------------------------------
+    let initial: Query = "/article[author/last^=S]".parse()?;
+    let by_initial = service.search(&initial)?;
+    println!(
+        "initial-letter query {initial}: {} articles by authors 'S…'",
+        by_initial.files.len()
+    );
+
+    // --- An interactive session over the keyword index --------------------
+    println!("\ninteractive session for [title*=Caching]:");
+    let mut session = SearchSession::start(&mut service, "/article[title*=Caching]".parse()?)?;
+    let mut guard = 0;
+    loop {
+        match session.state() {
+            SessionState::Browsing => {
+                println!(
+                    "  at {} — {} option(s), e.g. {}",
+                    session.current_query(),
+                    session.options().len(),
+                    session.options()[0]
+                );
+                session.refine(0)?;
+            }
+            SessionState::Found(files) => {
+                println!(
+                    "  found: {files:?} after {} interactions",
+                    session.interactions()
+                );
+                break;
+            }
+            SessionState::DeadEnd => {
+                println!("  dead end; generalizing");
+                let broader = session.generalize();
+                match broader.into_iter().next() {
+                    Some(g) => {
+                        session.refine_to(g)?;
+                    }
+                    None => break,
+                }
+            }
+        }
+        guard += 1;
+        if guard > 12 {
+            break;
+        }
+    }
+    let report = session.commit();
+    println!(
+        "  session committed: {} shortcut(s) created for future users",
+        report.shortcuts_created
+    );
+
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! A music library: a second descriptor domain with its own index scheme,
+//! plus fuzzy query correction.
+//!
+//! The paper notes that "determining good decompositions for indexing each
+//! given descriptor type (e.g., articles, music files, movies, books)
+//! requires human input" (§IV-C) and points at CDDB-style databases for
+//! absorbing misspellings (§VI). This example supplies that human input for
+//! music tracks — a `CustomScheme` with artist/album/genre chains — and
+//! validates queries against the published descriptors with
+//! `FuzzyCorrector`.
+//!
+//! Run with: `cargo run --example music_library`
+
+use p2p_index::prelude::*;
+use p2p_index::xpath::QueryBuilder as QB;
+
+/// The music indexing scheme: artist → album(artist+album) → MSD,
+/// genre → genre+year → MSD, track title → MSD.
+fn music_scheme() -> impl IndexScheme {
+    CustomScheme::new("music", |d: &Descriptor, msd: &Query| {
+        let artist = d.field("artist")?;
+        let mut edges = Vec::new();
+        let artist_q = QB::new("track").value("artist", &artist).build();
+        if let Some(album) = d.field("album") {
+            let album_q = QB::new("track")
+                .value("artist", &artist)
+                .value("album", &album)
+                .build();
+            edges.push((artist_q, album_q.clone()));
+            edges.push((album_q, msd.clone()));
+        } else {
+            edges.push((artist_q, msd.clone()));
+        }
+        if let (Some(genre), Some(year)) = (d.field("genre"), d.field("year")) {
+            let genre_q = QB::new("track").value("genre", &genre).build();
+            let gy = QB::new("track")
+                .value("genre", &genre)
+                .value("year", &year)
+                .build();
+            edges.push((genre_q, gy.clone()));
+            edges.push((gy, msd.clone()));
+        }
+        if let Some(title) = d.field("title") {
+            edges.push((QB::new("track").value("title", &title).build(), msd.clone()));
+        }
+        Some(edges)
+    })
+}
+
+fn track(artist: &str, album: &str, title: &str, genre: &str, year: u32) -> Descriptor {
+    Descriptor::parse(&format!(
+        "<track><artist>{artist}</artist><album>{album}</album>\
+         <title>{title}</title><genre>{genre}</genre><year>{year}</year></track>"
+    ))
+    .expect("valid track descriptor")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scheme = music_scheme();
+    let mut service = IndexService::new(RingDht::with_named_nodes(60), CachePolicy::Single);
+    let mut corrector = FuzzyCorrector::new(2);
+
+    let tracks = [
+        ("Miles Davis", "Kind of Blue", "So What", "Jazz", 1959),
+        ("Miles Davis", "Kind of Blue", "Blue in Green", "Jazz", 1959),
+        ("John Coltrane", "Giant Steps", "Giant Steps", "Jazz", 1960),
+        ("Nina Simone", "Pastel Blues", "Sinnerman", "Jazz", 1965),
+        (
+            "Kraftwerk",
+            "Computer World",
+            "Computer Love",
+            "Electronic",
+            1981,
+        ),
+        ("Kraftwerk", "Autobahn", "Autobahn", "Electronic", 1974),
+        (
+            "Daft Punk",
+            "Discovery",
+            "Harder Better Faster Stronger",
+            "Electronic",
+            2001,
+        ),
+    ];
+    for (i, (artist, album, title, genre, year)) in tracks.iter().enumerate() {
+        let d = track(artist, album, title, genre, *year);
+        corrector.learn_descriptor(&d);
+        service.publish(&d, format!("track-{i}.flac"), &scheme)?;
+    }
+    println!("published {} tracks with the music scheme\n", tracks.len());
+
+    // Browse by artist → album → track.
+    let by_artist: Query = "/track/artist/\"Miles Davis\"".parse()?;
+    let report = service.search(&by_artist)?;
+    println!("{by_artist} -> {} track(s)", report.files.len());
+    assert_eq!(report.files.len(), 2);
+
+    // Genre + year chains.
+    let jazz_1959: Query = "/track[genre/Jazz][year/1959]".parse()?;
+    let report = service.search(&jazz_1959)?;
+    println!("{jazz_1959} -> {} track(s)", report.files.len());
+    assert_eq!(report.files.len(), 2);
+
+    // A misspelled artist query, corrected CDDB-style before lookup.
+    let typo: Query = "/track/artist/\"Mils Davis\"".parse()?;
+    let corrected = corrector.correct_query(&typo);
+    println!("\ntypo      {typo}");
+    println!("corrected {corrected}");
+    assert_ne!(typo, corrected);
+    let report = service.search(&corrected)?;
+    println!("-> {} track(s) after correction", report.files.len());
+    assert_eq!(report.files.len(), 2);
+
+    // Misspelled genre in a compound query.
+    let typo: Query = "/track[genre/Electronc][year/1981]".parse()?;
+    let corrected = corrector.correct_query(&typo);
+    let report = service.search(&corrected)?;
+    println!("{typo} -> corrected -> {} track(s)", report.files.len());
+    assert_eq!(report.files.len(), 1);
+
+    Ok(())
+}

@@ -1,0 +1,269 @@
+//! `p2p-library` — an interactive command-line front end to the indexed
+//! peer-to-peer library.
+//!
+//! Spins up an in-process network, optionally seeds it with a synthetic
+//! corpus, and accepts commands on stdin:
+//!
+//! ```text
+//! add <file> <xml-descriptor>     publish a file
+//! del <file> <xml-descriptor>     unpublish a file
+//! find <query>                    automated search (all matching files)
+//! step <query>                    one lookup step (show raw index entries)
+//! stats                           network and traffic statistics
+//! help                            this text
+//! quit                            exit
+//! ```
+//!
+//! Example session:
+//!
+//! ```text
+//! $ cargo run --bin p2p-library -- --nodes 50 --seed-corpus 100
+//! > find /article/conf/SIGCOMM
+//! > add my.pdf <article><title>My Paper</title><year>2024</year></article>
+//! > find /article[year>=2020]
+//! ```
+
+use std::io::{self, BufRead, Write};
+use std::process::ExitCode;
+
+use p2p_index::prelude::*;
+
+struct App {
+    service: IndexService<RingDht>,
+}
+
+impl App {
+    fn new(nodes: usize) -> App {
+        App {
+            service: IndexService::new(RingDht::with_named_nodes(nodes), CachePolicy::Lru(30)),
+        }
+    }
+
+    fn seed(&mut self, articles: usize) -> usize {
+        let corpus = Corpus::generate(CorpusConfig {
+            articles,
+            author_pool: (articles / 4).max(8),
+            ..CorpusConfig::default()
+        });
+        for a in corpus.articles() {
+            self.service
+                .publish(&a.descriptor(), a.file_name(), &SimpleScheme)
+                .expect("seeding a live network cannot fail");
+        }
+        articles
+    }
+
+    fn dispatch(&mut self, line: &str, out: &mut impl Write) -> io::Result<bool> {
+        let line = line.trim();
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "" => {}
+            "quit" | "exit" => return Ok(false),
+            "help" => {
+                writeln!(
+                    out,
+                    "commands: add <file> <xml> | del <file> <xml> | find <query> | \
+                     step <query> | stats | help | quit"
+                )?;
+            }
+            "add" | "del" => {
+                let Some((file, xml)) = rest.split_once(' ') else {
+                    writeln!(out, "usage: {cmd} <file> <xml-descriptor>")?;
+                    return Ok(true);
+                };
+                match Descriptor::parse(xml.trim()) {
+                    Ok(d) => {
+                        let result = if cmd == "add" {
+                            self.service
+                                .publish(&d, file, &SimpleScheme)
+                                .map(|msd| format!("published {file} under {msd}"))
+                        } else {
+                            self.service
+                                .unpublish(&d, file, &SimpleScheme)
+                                .map(|msd| format!("removed {file} (was under {msd})"))
+                        };
+                        match result {
+                            Ok(msg) => writeln!(out, "{msg}")?,
+                            Err(e) => writeln!(out, "error: {e}")?,
+                        }
+                    }
+                    Err(e) => writeln!(out, "bad descriptor: {e}")?,
+                }
+            }
+            "find" => match rest.trim().parse::<Query>() {
+                Ok(q) => match self.service.search(&q) {
+                    Ok(report) => {
+                        writeln!(
+                            out,
+                            "{} file(s) in {} interaction(s){}",
+                            report.files.len(),
+                            report.interactions,
+                            if report.generalized() {
+                                " (generalized)"
+                            } else {
+                                ""
+                            }
+                        )?;
+                        for hit in &report.files {
+                            writeln!(out, "  {}", hit.file)?;
+                        }
+                    }
+                    Err(e) => writeln!(out, "error: {e}")?,
+                },
+                Err(e) => writeln!(out, "bad query: {e}")?,
+            },
+            "step" => match rest.trim().parse::<Query>() {
+                Ok(q) => match self.service.lookup_step(&q) {
+                    Ok(resp) => {
+                        writeln!(
+                            out,
+                            "node {}: {} cached, {} indexed",
+                            resp.node.map(|n| n.to_string()).unwrap_or_default(),
+                            resp.cached.len(),
+                            resp.indexed.len()
+                        )?;
+                        for t in resp.all_targets() {
+                            writeln!(out, "  {t}")?;
+                        }
+                    }
+                    Err(e) => writeln!(out, "error: {e}")?,
+                },
+                Err(e) => writeln!(out, "bad query: {e}")?,
+            },
+            "stats" => {
+                let t = self.service.traffic();
+                let dht = self.service.dht();
+                writeln!(
+                    out,
+                    "nodes {}, stored keys {}, index bytes {}, traffic: {} normal + {} cache bytes, {} messages",
+                    dht.len(),
+                    dht.total_keys(),
+                    dht.total_value_bytes(),
+                    t.normal_bytes,
+                    t.cache_bytes,
+                    t.messages
+                )?;
+            }
+            other => writeln!(out, "unknown command {other:?}; try help")?,
+        }
+        Ok(true)
+    }
+}
+
+fn main() -> ExitCode {
+    let mut nodes = 50usize;
+    let mut seed_corpus = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = args.next();
+        let parsed = value.as_deref().and_then(|v| v.parse::<usize>().ok());
+        match (flag.as_str(), parsed) {
+            ("--nodes", Some(n)) => nodes = n.max(1),
+            ("--seed-corpus", Some(n)) => seed_corpus = n,
+            _ => {
+                eprintln!("usage: p2p-library [--nodes N] [--seed-corpus N]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut app = App::new(nodes);
+    if seed_corpus > 0 {
+        let n = app.seed(seed_corpus);
+        eprintln!("seeded {n} synthetic articles");
+    }
+    eprintln!("p2p-library ready ({nodes} nodes); type help");
+
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        match app.dispatch(&line, &mut out) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(_) => break,
+        }
+        let _ = out.flush();
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(app: &mut App, line: &str) -> String {
+        let mut out = Vec::new();
+        app.dispatch(line, &mut out)
+            .expect("dispatch never errors on Vec");
+        String::from_utf8(out).expect("utf8 output")
+    }
+
+    #[test]
+    fn add_find_del_cycle() {
+        let mut app = App::new(10);
+        let added = run(
+            &mut app,
+            "add x.pdf <article><title>TCP</title><year>1989</year></article>",
+        );
+        assert!(added.contains("published x.pdf"));
+        let found = run(&mut app, "find /article/title/TCP");
+        assert!(found.contains("1 file(s)"));
+        assert!(found.contains("x.pdf"));
+        let removed = run(
+            &mut app,
+            "del x.pdf <article><title>TCP</title><year>1989</year></article>",
+        );
+        assert!(removed.contains("removed x.pdf"));
+        let gone = run(&mut app, "find /article/title/TCP");
+        assert!(gone.contains("0 file(s)"));
+    }
+
+    #[test]
+    fn seeded_corpus_is_searchable() {
+        let mut app = App::new(20);
+        app.seed(50);
+        // Reconstruct the same deterministic corpus to know a real title.
+        let corpus = Corpus::generate(CorpusConfig {
+            articles: 50,
+            author_pool: 12,
+            ..CorpusConfig::default()
+        });
+        let title = &corpus.article(0).unwrap().title;
+        let out = run(&mut app, &format!("find /article/title/\"{title}\""));
+        assert!(out.contains("article-0.pdf"), "{out}");
+        let stats = run(&mut app, "stats");
+        assert!(stats.contains("nodes 20"));
+    }
+
+    #[test]
+    fn error_paths_are_reported() {
+        let mut app = App::new(5);
+        assert!(run(&mut app, "find not-a-query").contains("bad query"));
+        assert!(run(&mut app, "add only-one-arg").contains("usage"));
+        assert!(run(&mut app, "add f.pdf <broken").contains("bad descriptor"));
+        assert!(run(&mut app, "bogus").contains("unknown command"));
+        assert!(run(&mut app, "help").contains("commands"));
+    }
+
+    #[test]
+    fn step_shows_raw_entries() {
+        let mut app = App::new(10);
+        run(
+            &mut app,
+            "add x.pdf <article><author><first>A</first><last>B</last></author><title>T</title></article>",
+        );
+        let out = run(&mut app, "step /article/author[first/A][last/B]");
+        assert!(out.contains("indexed"));
+        assert!(out.contains("query /article"));
+    }
+
+    #[test]
+    fn quit_stops_the_loop() {
+        let mut app = App::new(5);
+        let mut out = Vec::new();
+        assert!(!app.dispatch("quit", &mut out).unwrap());
+        assert!(app.dispatch("", &mut out).unwrap());
+    }
+}

@@ -1,0 +1,130 @@
+//! Integration tests for the fuzzy-matching pipeline (§VI): misspelled
+//! queries corrected against the published-descriptor vocabulary, then
+//! resolved through the regular index machinery.
+
+use p2p_index::prelude::*;
+
+fn setup() -> (Corpus, IndexService<RingDht>, FuzzyCorrector) {
+    let corpus = Corpus::generate(CorpusConfig {
+        articles: 120,
+        author_pool: 35,
+        seed: 77,
+        ..CorpusConfig::default()
+    });
+    let mut service = IndexService::new(RingDht::with_named_nodes(40), CachePolicy::None);
+    let mut corrector = FuzzyCorrector::new(2);
+    for article in corpus.articles() {
+        let d = article.descriptor();
+        corrector.learn_descriptor(&d);
+        service
+            .publish(&d, article.file_name(), &SimpleScheme)
+            .expect("publish succeeds");
+    }
+    (corpus, service, corrector)
+}
+
+/// Introduce a one-character typo into the longest word of a value.
+fn misspell(value: &str) -> String {
+    let mut chars: Vec<char> = value.chars().collect();
+    // Swap two adjacent alphabetic characters near the middle.
+    let mid = chars.len() / 2;
+    for i in mid..chars.len().saturating_sub(1) {
+        if chars[i].is_alphabetic() && chars[i + 1].is_alphabetic() && chars[i] != chars[i + 1] {
+            chars.swap(i, i + 1);
+            return chars.into_iter().collect();
+        }
+    }
+    chars.push('x');
+    chars.into_iter().collect()
+}
+
+#[test]
+fn misspelled_author_queries_recover_after_correction() {
+    let (corpus, mut service, corrector) = setup();
+    let mut corrected_count = 0;
+    for article in corpus.articles().iter().take(25) {
+        let (first, last) = article.primary_author();
+        let typo = misspell(last);
+        if typo == *last {
+            continue;
+        }
+        let q: Query = QueryBuilder::new("article")
+            .value("author/first", first)
+            .value("author/last", &typo)
+            .build();
+        // Without correction the misspelled query finds nothing (unless the
+        // typo collides with a real name, which the corpus generator avoids
+        // at this scale).
+        let raw = service.search(&q).expect("search succeeds");
+        let fixed_query = corrector.correct_query(&q);
+        if fixed_query == q {
+            // Typo not correctable within distance 2 (rare: very short
+            // names); skip.
+            continue;
+        }
+        let fixed = service.search(&fixed_query).expect("search succeeds");
+        // Short names can tie at equal edit distance with a different real
+        // name (genuine fuzzy ambiguity), so recovery is counted, not
+        // required per-query; soundness is always required.
+        if fixed.files.iter().any(|h| h.file == article.file_name()) {
+            corrected_count += 1;
+        }
+        assert!(
+            fixed.files.len() >= raw.files.len(),
+            "correction must not lose results"
+        );
+    }
+    assert!(
+        corrected_count >= 12,
+        "most typos must recover the target, got {corrected_count}/25"
+    );
+}
+
+#[test]
+fn correction_never_breaks_well_spelled_queries() {
+    let (corpus, mut service, corrector) = setup();
+    let mut generator = QueryGenerator::new(&corpus, StructureMix::paper_simulation(), 7);
+    for item in generator.take_queries(100) {
+        let corrected = corrector.correct_query(&item.query);
+        assert_eq!(
+            corrected, item.query,
+            "a query built from real descriptor values must be a fixpoint"
+        );
+        let a: Vec<String> = service
+            .search(&item.query)
+            .unwrap()
+            .files
+            .into_iter()
+            .map(|h| h.file)
+            .collect();
+        let b: Vec<String> = service
+            .search(&corrected)
+            .unwrap()
+            .files
+            .into_iter()
+            .map(|h| h.file)
+            .collect();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn corrected_results_always_match_the_corrected_query() {
+    let (corpus, mut service, corrector) = setup();
+    for article in corpus.articles().iter().take(15) {
+        let typo = misspell(&article.conf);
+        let q: Query = QueryBuilder::new("article").value("conf", typo).build();
+        let fixed = corrector.correct_query(&q);
+        let report = service.search(&fixed).expect("search succeeds");
+        for hit in &report.files {
+            let id: usize = hit
+                .file
+                .trim_start_matches("article-")
+                .trim_end_matches(".pdf")
+                .parse()
+                .unwrap();
+            let d = corpus.article(id).unwrap().descriptor();
+            assert!(fixed.matches(d.root()), "{} vs {}", hit.file, fixed);
+        }
+    }
+}
