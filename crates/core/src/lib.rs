@@ -16,6 +16,8 @@
 //! * [`scheme`] — the index schemes of the paper's Fig. 8 and Fig. 4, plus
 //!   custom schemes;
 //! * [`cache`] — the adaptive distributed cache (multi/single/LRU);
+//! * [`retry`] — retry policies (attempt budget, exponential backoff in
+//!   simulated time, seeded jitter) applied to every DHT operation;
 //! * [`target`] — the wire format of index entries;
 //! * [`traffic`] — the byte-level traffic model of Fig. 12;
 //! * [`fuzzy`] — misspelling correction against known descriptors (§VI).
@@ -43,6 +45,7 @@
 
 pub mod cache;
 pub mod fuzzy;
+pub mod retry;
 pub mod scheme;
 pub mod service;
 pub mod session;
@@ -51,11 +54,12 @@ pub mod traffic;
 
 pub use cache::{CachePolicy, ShortcutCache};
 pub use fuzzy::FuzzyCorrector;
+pub use retry::{RetryPolicy, RetryStats};
 pub use scheme::{
     BiblioFields, ComplexScheme, CustomScheme, Fig4Scheme, FlatScheme, IndexScheme,
     InitialLetterScheme, KeywordTitleScheme, SimpleScheme,
 };
-pub use service::{FileHit, IndexError, IndexService, SearchReport, StepResponse};
+pub use service::{Completeness, FileHit, IndexError, IndexService, SearchReport, StepResponse};
 pub use session::{SearchSession, SessionReport, SessionState};
 pub use target::{DecodeTargetError, IndexTarget};
 pub use traffic::{Traffic, MESSAGE_HEADER_BYTES};

@@ -21,11 +21,12 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::error::Error;
 use std::fmt;
 
-use p2p_index_dht::{Dht, Key, NodeId};
+use p2p_index_dht::{Dht, DhtError, DhtOp, DhtResponse, Key, NodeId, SplitMix64};
 use p2p_index_xmldoc::Descriptor;
 use p2p_index_xpath::Query;
 
 use crate::cache::{CachePolicy, ShortcutCache};
+use crate::retry::{RetryPolicy, RetryStats};
 use crate::scheme::IndexScheme;
 use crate::target::{DecodeTargetError, IndexTarget};
 use crate::traffic::Traffic;
@@ -45,6 +46,8 @@ pub enum IndexError {
     },
     /// A stored index entry failed to decode.
     Decode(DecodeTargetError),
+    /// A DHT operation failed even after the retry policy was exhausted.
+    Dht(DhtError),
 }
 
 impl fmt::Display for IndexError {
@@ -58,6 +61,7 @@ impl fmt::Display for IndexError {
                 )
             }
             IndexError::Decode(e) => write!(f, "corrupt index entry: {e}"),
+            IndexError::Dht(e) => write!(f, "dht operation failed: {e}"),
         }
     }
 }
@@ -66,6 +70,7 @@ impl Error for IndexError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             IndexError::Decode(e) => Some(e),
+            IndexError::Dht(e) => Some(e),
             _ => None,
         }
     }
@@ -74,6 +79,16 @@ impl Error for IndexError {
 impl From<DecodeTargetError> for IndexError {
     fn from(e: DecodeTargetError) -> Self {
         IndexError::Decode(e)
+    }
+}
+
+impl From<DhtError> for IndexError {
+    fn from(e: DhtError) -> Self {
+        match e {
+            // Preserve the historical error for the structural case.
+            DhtError::NoLiveNodes => IndexError::EmptyNetwork,
+            other => IndexError::Dht(other),
+        }
     }
 }
 
@@ -109,6 +124,32 @@ pub struct FileHit {
     pub file: String,
 }
 
+/// How complete a search's answer is, under faults and retries.
+///
+/// A search over a faulty substrate no longer pretends every sub-lookup
+/// succeeded: lookups that failed even after retrying are *abandoned* and
+/// recorded here, marking the result as possibly partial.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Completeness {
+    /// DHT operation attempts issued by this search (including retries).
+    pub attempts: u64,
+    /// Retries among those attempts (0 on a healthy substrate).
+    pub retries: u64,
+    /// Sub-lookups abandoned after exhausting the retry budget. Non-zero
+    /// means some index branch went unexplored.
+    pub abandoned: u32,
+    /// Simulated backoff delay accumulated by this search, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+impl Completeness {
+    /// `true` when some index branch went unexplored, so files matching the
+    /// query may be missing from the result.
+    pub fn is_partial(&self) -> bool {
+        self.abandoned > 0
+    }
+}
+
 /// The outcome of an automated [`IndexService::search`].
 #[derive(Debug, Clone, Default)]
 pub struct SearchReport {
@@ -121,6 +162,8 @@ pub struct SearchReport {
     /// (0 when the query was indexed; the paper's "recoverable error" case
     /// otherwise).
     pub generalization_steps: u32,
+    /// Retry/abandonment record: how trustworthy `files` is under faults.
+    pub completeness: Completeness,
 }
 
 impl SearchReport {
@@ -128,6 +171,11 @@ impl SearchReport {
     /// indexed)?
     pub fn generalized(&self) -> bool {
         self.generalization_steps > 0
+    }
+
+    /// `true` when faults caused some index branch to go unexplored.
+    pub fn is_partial(&self) -> bool {
+        self.completeness.is_partial()
     }
 }
 
@@ -159,17 +207,79 @@ pub struct IndexService<D> {
     caches: HashMap<NodeId, ShortcutCache>,
     traffic: Traffic,
     node_queries: HashMap<NodeId, u64>,
+    retry: RetryPolicy,
+    retry_rng: SplitMix64,
+    retry_stats: RetryStats,
+    /// Simulated clock, advanced by retry backoff (milliseconds).
+    sim_clock_ms: u64,
 }
 
 impl<D: Dht> IndexService<D> {
-    /// Creates a service over `dht` with the given cache policy.
+    /// Creates a service over `dht` with the given cache policy and no
+    /// retries ([`RetryPolicy::none`]).
     pub fn new(dht: D, policy: CachePolicy) -> Self {
+        Self::with_retry(dht, policy, RetryPolicy::none())
+    }
+
+    /// Creates a service that retries failed DHT operations per `retry`.
+    pub fn with_retry(dht: D, policy: CachePolicy, retry: RetryPolicy) -> Self {
         IndexService {
             dht,
             policy,
             caches: HashMap::new(),
             traffic: Traffic::new(),
             node_queries: HashMap::new(),
+            retry,
+            retry_rng: SplitMix64::new(retry.seed),
+            retry_stats: RetryStats::default(),
+            sim_clock_ms: 0,
+        }
+    }
+
+    /// Replaces the retry policy and reseeds its jitter RNG.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+        self.retry_rng = SplitMix64::new(retry.seed);
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Counters for the retry work performed so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
+    }
+
+    /// The simulated clock: total backoff delay accumulated, in
+    /// milliseconds. Stays 0 on a healthy substrate.
+    pub fn sim_clock_ms(&self) -> u64 {
+        self.sim_clock_ms
+    }
+
+    /// Issues one DHT operation under the retry policy: transient faults
+    /// are retried (with exponential, jittered, simulated-time backoff)
+    /// while the attempt budget lasts; structural faults and exhausted
+    /// budgets surface as errors.
+    fn dht_execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        let mut attempt = 1u32;
+        loop {
+            self.retry_stats.attempts += 1;
+            match self.dht.execute(op.clone()) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_transient() && attempt < self.retry.max_attempts => {
+                    let delay = self.retry.backoff_ms(attempt, &mut self.retry_rng);
+                    self.sim_clock_ms += delay;
+                    self.retry_stats.backoff_ms += delay;
+                    self.retry_stats.retries += 1;
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.retry_stats.gave_up += 1;
+                    return Err(e);
+                }
+            }
         }
     }
 
@@ -260,10 +370,10 @@ impl<D: Dht> IndexService<D> {
             return Err(IndexError::EmptyNetwork);
         }
         let msd = Query::most_specific(descriptor);
-        self.dht.put(
-            Self::key_of(&msd),
-            IndexTarget::File(file.into()).to_bytes(),
-        );
+        self.dht_execute(DhtOp::Put {
+            key: Self::key_of(&msd),
+            value: IndexTarget::File(file.into()).to_bytes(),
+        })?;
         for (from, to) in scheme.index_edges(descriptor, &msd) {
             self.insert_mapping(from, to)?;
         }
@@ -285,8 +395,10 @@ impl<D: Dht> IndexService<D> {
                 to: to.to_string(),
             });
         }
-        self.dht
-            .put(Self::key_of(&from), IndexTarget::Query(to).to_bytes());
+        self.dht_execute(DhtOp::Put {
+            key: Self::key_of(&from),
+            value: IndexTarget::Query(to).to_bytes(),
+        })?;
         Ok(())
     }
 
@@ -310,9 +422,10 @@ impl<D: Dht> IndexService<D> {
     /// if a stored entry is corrupt.
     pub fn lookup_step(&mut self, query: &Query) -> Result<StepResponse, IndexError> {
         let key = Self::key_of(query);
-        let Some(node) = self.dht.node_for(&key) else {
-            return Err(IndexError::EmptyNetwork);
-        };
+        let node = self
+            .dht_execute(DhtOp::NodeFor(key))?
+            .into_node()
+            .ok_or(IndexError::EmptyNetwork)?;
         *self.node_queries.entry(node).or_insert(0) += 1;
 
         let cached: Vec<IndexTarget> = self
@@ -323,8 +436,8 @@ impl<D: Dht> IndexService<D> {
             .unwrap_or_default();
 
         let indexed: Vec<IndexTarget> = if cached.is_empty() {
-            self.dht
-                .get(&key)
+            self.dht_execute(DhtOp::Get(key))?
+                .into_values()
                 .iter()
                 .map(|b| IndexTarget::from_bytes(b))
                 .collect::<Result<_, _>>()?
@@ -361,13 +474,14 @@ impl<D: Dht> IndexService<D> {
         query: &Query,
     ) -> Result<StepResponse, IndexError> {
         let key = Self::key_of(query);
-        let Some(node) = self.dht.node_for(&key) else {
-            return Err(IndexError::EmptyNetwork);
-        };
+        let node = self
+            .dht_execute(DhtOp::NodeFor(key))?
+            .into_node()
+            .ok_or(IndexError::EmptyNetwork)?;
         *self.node_queries.entry(node).or_insert(0) += 1;
         let indexed: Vec<IndexTarget> = self
-            .dht
-            .get(&key)
+            .dht_execute(DhtOp::Get(key))?
+            .into_values()
             .iter()
             .map(|b| IndexTarget::from_bytes(b))
             .collect::<Result<_, _>>()?;
@@ -439,16 +553,24 @@ impl<D: Dht> IndexService<D> {
     /// # Errors
     ///
     /// [`IndexError::EmptyNetwork`] without live nodes; [`IndexError::Decode`]
-    /// on corrupt entries.
+    /// on corrupt entries. Sub-lookups that fail with a DHT fault even
+    /// after the retry policy was exhausted do **not** abort the search:
+    /// the branch is abandoned, recorded in
+    /// [`SearchReport::completeness`], and the remaining branches are
+    /// still explored — a degraded-but-useful answer instead of an error.
     pub fn search(&mut self, query: &Query) -> Result<SearchReport, IndexError> {
+        let retry_before = self.retry_stats;
         let mut report = SearchReport::default();
         let mut visited: HashSet<Query> = HashSet::new();
         let mut queue: VecDeque<(Query, StepResponse)> = VecDeque::new();
 
         // Phase 1: find indexed entry points — the query itself, or
         // (for non-indexed queries) its generalizations, breadth-first.
-        let first = self.lookup_step_bypassing_cache(query)?;
-        report.interactions += 1;
+        // An abandoned first lookup reads as "not indexed": generalization
+        // may still reach the data through another index branch.
+        let first = self
+            .lookup_or_abandon(query, &mut report)?
+            .unwrap_or_default();
         let query_not_indexed = first.indexed.is_empty();
         visited.insert(query.clone());
         queue.push_back((query.clone(), first));
@@ -459,9 +581,11 @@ impl<D: Dht> IndexService<D> {
                 if !seen.insert(g.clone()) {
                     continue;
                 }
-                let resp = self.lookup_step_bypassing_cache(&g)?;
-                report.interactions += 1;
                 report.generalization_steps += 1;
+                let Some(resp) = self.lookup_or_abandon(&g, &mut report)? else {
+                    frontier.extend(g.generalizations());
+                    continue;
+                };
                 if resp.indexed.is_empty() {
                     frontier.extend(g.generalizations());
                 } else if visited.insert(g.clone()) {
@@ -490,15 +614,38 @@ impl<D: Dht> IndexService<D> {
                     }
                     IndexTarget::Query(q) => {
                         if visited.insert(q.clone()) {
-                            let r = self.lookup_step_bypassing_cache(q)?;
-                            report.interactions += 1;
-                            queue.push_back((q.clone(), r));
+                            if let Some(r) = self.lookup_or_abandon(q, &mut report)? {
+                                queue.push_back((q.clone(), r));
+                            }
                         }
                     }
                 }
             }
         }
+
+        let delta = self.retry_stats;
+        report.completeness.attempts = delta.attempts - retry_before.attempts;
+        report.completeness.retries = delta.retries - retry_before.retries;
+        report.completeness.backoff_ms = delta.backoff_ms - retry_before.backoff_ms;
         Ok(report)
+    }
+
+    /// One search sub-lookup: `Ok(None)` when the lookup failed with a DHT
+    /// fault and the branch must be abandoned; hard errors still propagate.
+    fn lookup_or_abandon(
+        &mut self,
+        query: &Query,
+        report: &mut SearchReport,
+    ) -> Result<Option<StepResponse>, IndexError> {
+        report.interactions += 1;
+        match self.lookup_step_bypassing_cache(query) {
+            Ok(resp) => Ok(Some(resp)),
+            Err(IndexError::Dht(_)) => {
+                report.completeness.abandoned += 1;
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Removes a published file and cleans up after it: the file entry is
@@ -523,18 +670,28 @@ impl<D: Dht> IndexService<D> {
             return Err(IndexError::EmptyNetwork);
         }
         let msd = Query::most_specific(descriptor);
-        self.dht.remove(
-            &Self::key_of(&msd),
-            &IndexTarget::File(file.to_string()).to_bytes(),
-        );
+        self.dht_execute(DhtOp::Remove {
+            key: Self::key_of(&msd),
+            value: IndexTarget::File(file.to_string()).to_bytes(),
+        })?;
 
         let edges = scheme.index_edges(descriptor, &msd);
         loop {
             let mut changed = false;
             for (from, to) in &edges {
-                if self.dht.get(&Self::key_of(to)).is_empty() {
+                if self
+                    .dht_execute(DhtOp::Get(Self::key_of(to)))?
+                    .into_values()
+                    .is_empty()
+                {
                     let entry = IndexTarget::Query(to.clone()).to_bytes();
-                    if self.dht.remove(&Self::key_of(from), &entry) {
+                    if self
+                        .dht_execute(DhtOp::Remove {
+                            key: Self::key_of(from),
+                            value: entry,
+                        })?
+                        .into_removed()
+                    {
                         changed = true;
                     }
                 }
@@ -572,7 +729,7 @@ mod tests {
         IndexService::new(RingDht::with_named_nodes(64), policy)
     }
 
-    fn publish_figure1(s: &mut IndexService<RingDht>, scheme: &dyn IndexScheme) {
+    fn publish_figure1<D: Dht>(s: &mut IndexService<D>, scheme: &dyn IndexScheme) {
         s.publish(
             &descriptor("John", "Smith", "TCP", "SIGCOMM", "1989"),
             "x.pdf",
@@ -880,5 +1037,108 @@ mod tests {
         assert_eq!(sizes.iter().map(|(_, c)| c).sum::<usize>(), 1);
         let (_, empty) = s.cache_fill_fractions();
         assert!(empty < 1.0);
+    }
+
+    // ---- faults, retries, and completeness ----------------------------
+
+    use p2p_index_dht::{FaultConfig, FaultyDht};
+
+    /// A populated service over a faulty ring: published while healthy,
+    /// faults switched on afterwards.
+    fn faulty_service(loss: f64, retry: RetryPolicy) -> IndexService<FaultyDht<RingDht>> {
+        let dht = FaultyDht::transparent(RingDht::with_named_nodes(64));
+        let mut s = IndexService::with_retry(dht, CachePolicy::None, retry);
+        publish_figure1(&mut s, &SimpleScheme);
+        s.dht_mut().set_fault_config(FaultConfig::lossy(11, loss));
+        s
+    }
+
+    #[test]
+    fn healthy_service_reports_full_completeness() {
+        let mut s = service(CachePolicy::None);
+        publish_figure1(&mut s, &SimpleScheme);
+        let report = s.search(&"/article/conf/INFOCOM".parse().unwrap()).unwrap();
+        let c = report.completeness;
+        assert!(!report.is_partial());
+        assert_eq!(c.retries, 0);
+        assert_eq!(c.abandoned, 0);
+        assert_eq!(c.backoff_ms, 0);
+        assert!(c.attempts > 0, "every sub-lookup is a DHT attempt");
+        assert_eq!(s.sim_clock_ms(), 0);
+    }
+
+    #[test]
+    fn retries_recover_from_message_loss() {
+        let mut s = faulty_service(0.3, RetryPolicy::with_budget(21, 10));
+        let report = s
+            .search(&"/article/author[first/John][last/Smith]".parse().unwrap())
+            .unwrap();
+        let mut files: Vec<&str> = report.files.iter().map(|h| h.file.as_str()).collect();
+        files.sort();
+        assert_eq!(files, vec!["x.pdf", "y.pdf"]);
+        assert!(!report.is_partial(), "{:?}", report.completeness);
+        assert!(
+            report.completeness.retries > 0,
+            "30% loss must cost retries"
+        );
+        assert!(report.completeness.backoff_ms > 0);
+        assert_eq!(s.sim_clock_ms(), s.retry_stats().backoff_ms);
+    }
+
+    #[test]
+    fn exhausted_budget_marks_results_partial() {
+        let mut s = faulty_service(1.0, RetryPolicy::with_budget(3, 2));
+        let report = s.search(&"/article/conf/INFOCOM".parse().unwrap()).unwrap();
+        assert!(report.files.is_empty(), "total loss finds nothing");
+        assert!(report.is_partial());
+        assert!(report.completeness.abandoned >= 1);
+        assert!(report.completeness.retries > 0);
+        assert!(s.retry_stats().gave_up > 0);
+    }
+
+    #[test]
+    fn publish_surfaces_exhausted_dht_faults() {
+        let dht = FaultyDht::new(RingDht::with_named_nodes(16), FaultConfig::lossy(5, 1.0));
+        let mut s =
+            IndexService::with_retry(dht, CachePolicy::None, RetryPolicy::with_budget(5, 2));
+        let d = descriptor("A", "B", "T", "C", "2000");
+        assert_eq!(
+            s.publish(&d, "f.pdf", &SimpleScheme).unwrap_err(),
+            IndexError::Dht(p2p_index_dht::DhtError::Timeout)
+        );
+        let stats = s.retry_stats();
+        assert_eq!(stats.attempts, 2, "budget of 2 means exactly 2 attempts");
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.gave_up, 1);
+    }
+
+    #[test]
+    fn set_retry_policy_reseeds_jitter() {
+        let mut s = faulty_service(0.5, RetryPolicy::with_budget(33, 4));
+        let q: Query = "/article/conf/INFOCOM".parse().unwrap();
+        let first = s.search(&q).unwrap().completeness;
+        // Re-arm both the fault stream and the retry jitter, then replay.
+        s.dht_mut().set_fault_config(FaultConfig::lossy(11, 0.5));
+        s.set_retry_policy(RetryPolicy::with_budget(33, 4));
+        let second = s.search(&q).unwrap().completeness;
+        assert_eq!(first, second, "same seeds must replay the same search");
+    }
+
+    #[test]
+    fn search_explores_past_abandoned_branches() {
+        // Even when some sub-lookups die, search keeps walking the other
+        // branches and reports what it could reach.
+        let mut s = faulty_service(0.6, RetryPolicy::with_budget(17, 2));
+        let report = s.search(&"/article/conf/INFOCOM".parse().unwrap()).unwrap();
+        // Whatever was found must genuinely match the query.
+        for hit in &report.files {
+            assert!(["y.pdf", "z.pdf"].contains(&hit.file.as_str()));
+        }
+        if report.files.len() < 2 {
+            assert!(
+                report.is_partial(),
+                "missing files must be flagged: {report:?}"
+            );
+        }
     }
 }

@@ -83,16 +83,147 @@ impl DhtStats {
     }
 }
 
+/// A single DHT operation, the request half of the wire protocol.
+///
+/// Every mutation and lookup the index layer issues is expressed as one of
+/// these, so a wrapper substrate (e.g. [`FaultyDht`](crate::faulty::FaultyDht))
+/// can intercept, drop, or retry whole operations uniformly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DhtOp {
+    /// Resolve the node responsible for a key.
+    NodeFor(Key),
+    /// Register a value under a key (multi-value, duplicates suppressed).
+    Put {
+        /// Storage key.
+        key: Key,
+        /// Value to register.
+        value: Bytes,
+    },
+    /// Fetch every value registered under a key.
+    Get(Key),
+    /// Remove one specific value registered under a key.
+    Remove {
+        /// Storage key.
+        key: Key,
+        /// Exact value to remove.
+        value: Bytes,
+    },
+}
+
+impl DhtOp {
+    /// The key this operation addresses.
+    pub fn key(&self) -> &Key {
+        match self {
+            DhtOp::NodeFor(key) | DhtOp::Get(key) => key,
+            DhtOp::Put { key, .. } | DhtOp::Remove { key, .. } => key,
+        }
+    }
+}
+
+/// The response half of the wire protocol: one variant per [`DhtOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DhtResponse {
+    /// Answer to [`DhtOp::NodeFor`].
+    Node(NodeId),
+    /// Answer to [`DhtOp::Put`]: `true` if the value was newly stored.
+    Stored(bool),
+    /// Answer to [`DhtOp::Get`].
+    Values(Vec<Bytes>),
+    /// Answer to [`DhtOp::Remove`]: `true` if the value was present.
+    Removed(bool),
+}
+
+impl DhtResponse {
+    /// Unwraps a [`DhtResponse::Node`], or `None` for other variants.
+    pub fn into_node(self) -> Option<NodeId> {
+        match self {
+            DhtResponse::Node(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Unwraps a [`DhtResponse::Stored`] flag (`false` for other variants).
+    pub fn into_stored(self) -> bool {
+        matches!(self, DhtResponse::Stored(true))
+    }
+
+    /// Unwraps [`DhtResponse::Values`] (empty for other variants).
+    pub fn into_values(self) -> Vec<Bytes> {
+        match self {
+            DhtResponse::Values(v) => v,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Unwraps a [`DhtResponse::Removed`] flag (`false` for other variants).
+    pub fn into_removed(self) -> bool {
+        matches!(self, DhtResponse::Removed(true))
+    }
+}
+
+/// Why a DHT operation failed.
+///
+/// Real substrates lose messages and churn nodes; this is the error surface
+/// the index layer programs against. [`DhtError::is_transient`] separates
+/// faults worth retrying (a lost message) from structural conditions that a
+/// retry cannot fix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DhtError {
+    /// The request or response message was lost; the operation may or may
+    /// not have taken effect on the responsible node.
+    Timeout,
+    /// The network has no live node to serve the operation.
+    NoLiveNodes,
+    /// The responsible node refused the write for lack of space.
+    StorageFull,
+}
+
+impl DhtError {
+    /// `true` for faults a retry may fix (currently only [`DhtError::Timeout`]).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DhtError::Timeout)
+    }
+}
+
+impl fmt::Display for DhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DhtError::Timeout => write!(f, "operation timed out (message lost)"),
+            DhtError::NoLiveNodes => write!(f, "no live nodes in the network"),
+            DhtError::StorageFull => write!(f, "responsible node storage full"),
+        }
+    }
+}
+
+impl std::error::Error for DhtError {}
+
 /// A peer-to-peer distributed hash table with multi-value storage.
 ///
 /// This is the contract assumed in §III-A of the paper: "each data item is
 /// mapped to one or several peer nodes" and the storage system must "allow
 /// for the registration of multiple entries using the same key".
 ///
+/// [`Dht::execute`] is the fallible entry point every operation ultimately
+/// goes through; `put`/`remove` are infallible convenience wrappers over it,
+/// while `node_for`/`get` keep their historical `&self` signatures (shared
+/// read paths must stay usable across threads) and report failure through
+/// their return values (`None` / empty).
+///
 /// Implementations in this crate:
-/// [`ChordNetwork`](crate::chord::ChordNetwork) (full protocol simulation) and
-/// [`RingDht`](crate::ring::RingDht) (direct consistent hashing).
+/// [`ChordNetwork`](crate::chord::ChordNetwork),
+/// [`KademliaNetwork`](crate::kademlia::KademliaNetwork) and
+/// [`PastryNetwork`](crate::pastry::PastryNetwork) (protocol simulations),
+/// [`RingDht`](crate::ring::RingDht) (direct consistent hashing), and
+/// [`FaultyDht`](crate::faulty::FaultyDht) (fault-injecting wrapper over any
+/// of them).
 pub trait Dht {
+    /// Executes one operation, reporting faults instead of swallowing them.
+    ///
+    /// This is the single fallible entry point: wrappers inject faults here
+    /// and the index layer retries here. The infallible convenience methods
+    /// below are defined in terms of it.
+    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError>;
+
     /// Resolves the live node currently responsible for `key`.
     ///
     /// Returns `None` only when the network has no live nodes.
@@ -101,17 +232,31 @@ pub trait Dht {
     /// All live nodes, in ascending identifier order.
     fn nodes(&self) -> Vec<NodeId>;
 
+    /// Fetches every value registered under `key`.
+    fn get(&self, key: &Key) -> Vec<Bytes>;
+
     /// Registers `value` under `key` on the responsible node.
     ///
     /// Multiple distinct values may be registered under one key; duplicates
     /// are ignored. Returns `true` if the value was newly stored.
-    fn put(&mut self, key: Key, value: Bytes) -> bool;
-
-    /// Fetches every value registered under `key`.
-    fn get(&self, key: &Key) -> Vec<Bytes>;
+    /// Infallible wrapper over [`Dht::execute`]: any fault reads as "not
+    /// stored".
+    fn put(&mut self, key: Key, value: Bytes) -> bool {
+        self.execute(DhtOp::Put { key, value })
+            .map(DhtResponse::into_stored)
+            .unwrap_or(false)
+    }
 
     /// Removes one specific value under `key`. Returns `true` if present.
-    fn remove(&mut self, key: &Key, value: &[u8]) -> bool;
+    /// Infallible wrapper over [`Dht::execute`].
+    fn remove(&mut self, key: &Key, value: &[u8]) -> bool {
+        self.execute(DhtOp::Remove {
+            key: *key,
+            value: Bytes::copy_from_slice(value),
+        })
+        .map(DhtResponse::into_removed)
+        .unwrap_or(false)
+    }
 
     /// Work counters accumulated since construction.
     fn stats(&self) -> DhtStats;
@@ -125,6 +270,26 @@ pub trait Dht {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Substrate-level membership control, used by fault injection to model
+/// node churn uniformly across substrates.
+///
+/// `spawn`/`kill` change membership only; substrates with routing state may
+/// need [`NodeChurn::stabilize`] afterwards to restore their invariants
+/// (successor lists, leaf sets, replica placement).
+pub trait NodeChurn {
+    /// Adds a live node. Returns `false` if it was already present or the
+    /// substrate cannot bootstrap it (e.g. protocol join into an empty net).
+    fn spawn(&mut self, id: NodeId) -> bool;
+
+    /// Removes a live node abruptly (a crash, not a graceful leave).
+    /// Returns `false` if the node was not present.
+    fn kill(&mut self, id: NodeId) -> bool;
+
+    /// Repairs routing and replication state after membership changes.
+    /// Default: no-op, for substrates whose state is always consistent.
+    fn stabilize(&mut self) {}
 }
 
 #[cfg(test)]
@@ -146,6 +311,45 @@ mod tests {
         let text = n.to_string();
         assert!(text.starts_with("node:"));
         assert_eq!(text.len(), "node:".len() + 12);
+    }
+
+    #[test]
+    fn op_key_addresses_every_variant() {
+        let k = Key::hash_of("k");
+        let v = Bytes::from_static(b"v");
+        assert_eq!(DhtOp::NodeFor(k).key(), &k);
+        assert_eq!(DhtOp::Get(k).key(), &k);
+        assert_eq!(
+            DhtOp::Put {
+                key: k,
+                value: v.clone()
+            }
+            .key(),
+            &k
+        );
+        assert_eq!(DhtOp::Remove { key: k, value: v }.key(), &k);
+    }
+
+    #[test]
+    fn response_accessors() {
+        let n = NodeId::hash_of("n");
+        assert_eq!(DhtResponse::Node(n).into_node(), Some(n));
+        assert_eq!(DhtResponse::Stored(true).into_node(), None);
+        assert!(DhtResponse::Stored(true).into_stored());
+        assert!(!DhtResponse::Stored(false).into_stored());
+        assert!(!DhtResponse::Removed(true).into_stored());
+        assert!(DhtResponse::Removed(true).into_removed());
+        let vals = vec![Bytes::from_static(b"a")];
+        assert_eq!(DhtResponse::Values(vals.clone()).into_values(), vals);
+        assert!(DhtResponse::Stored(true).into_values().is_empty());
+    }
+
+    #[test]
+    fn only_timeout_is_transient() {
+        assert!(DhtError::Timeout.is_transient());
+        assert!(!DhtError::NoLiveNodes.is_transient());
+        assert!(!DhtError::StorageFull.is_transient());
+        assert!(DhtError::Timeout.to_string().contains("timed out"));
     }
 
     #[test]

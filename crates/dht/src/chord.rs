@@ -44,7 +44,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 
-use crate::api::{Dht, DhtStats, NodeId};
+use crate::api::{Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
 use crate::key::{Key, KEY_BITS};
 use crate::storage::NodeStore;
 
@@ -642,6 +642,40 @@ impl Default for ChordNetwork {
 }
 
 impl Dht for ChordNetwork {
+    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        let Some(origin) = self.pick_origin() else {
+            return Err(DhtError::NoLiveNodes);
+        };
+        match op {
+            DhtOp::NodeFor(key) => {
+                let (owner, _hops) = self.find_successor_from(origin, &key);
+                Ok(DhtResponse::Node(NodeId::from_key(owner)))
+            }
+            DhtOp::Get(key) => Ok(DhtResponse::Values(self.get(&key))),
+            DhtOp::Put { key, value } => {
+                // Route (accounted), then place on the replica set.
+                let (_owner, _hops) = self.find_successor_from(origin, &key);
+                self.bump_messages(2); // store request + ack
+                let mut stored = false;
+                for node in self.replica_set(&key) {
+                    let state = self.nodes.get_mut(&node).expect("live replica");
+                    stored |= state.store.put(key, value.clone());
+                }
+                Ok(DhtResponse::Stored(stored))
+            }
+            DhtOp::Remove { key, value } => {
+                let (_owner, _hops) = self.find_successor_from(origin, &key);
+                self.bump_messages(2); // remove request + ack
+                let mut removed = false;
+                for node in self.replica_set(&key) {
+                    let state = self.nodes.get_mut(&node).expect("live replica");
+                    removed |= state.store.remove(&key, &value);
+                }
+                Ok(DhtResponse::Removed(removed))
+            }
+        }
+    }
+
     fn node_for(&self, key: &Key) -> Option<NodeId> {
         let origin = self.pick_origin()?;
         let (owner, _hops) = self.find_successor_from(origin, key);
@@ -650,21 +684,6 @@ impl Dht for ChordNetwork {
 
     fn nodes(&self) -> Vec<NodeId> {
         self.order.iter().copied().map(NodeId::from_key).collect()
-    }
-
-    fn put(&mut self, key: Key, value: Bytes) -> bool {
-        let Some(origin) = self.pick_origin() else {
-            return false;
-        };
-        // Route (accounted), then place on the replica set.
-        let (_owner, _hops) = self.find_successor_from(origin, &key);
-        self.bump_messages(1); // store message
-        let mut stored = false;
-        for node in self.replica_set(&key) {
-            let state = self.nodes.get_mut(&node).expect("live replica");
-            stored |= state.store.put(key, value.clone());
-        }
-        stored
     }
 
     fn get(&self, key: &Key) -> Vec<Bytes> {
@@ -694,20 +713,6 @@ impl Dht for ChordNetwork {
         Vec::new()
     }
 
-    fn remove(&mut self, key: &Key, value: &[u8]) -> bool {
-        let Some(origin) = self.pick_origin() else {
-            return false;
-        };
-        let (_owner, _hops) = self.find_successor_from(origin, key);
-        self.bump_messages(1);
-        let mut removed = false;
-        for node in self.replica_set(key) {
-            let state = self.nodes.get_mut(&node).expect("live replica");
-            removed |= state.store.remove(key, value);
-        }
-        removed
-    }
-
     fn stats(&self) -> DhtStats {
         DhtStats {
             messages: self.stats.messages.load(Ordering::Relaxed),
@@ -718,6 +723,24 @@ impl Dht for ChordNetwork {
 
     fn len(&self) -> usize {
         self.order.len()
+    }
+}
+
+impl NodeChurn for ChordNetwork {
+    fn spawn(&mut self, id: NodeId) -> bool {
+        let Some(bootstrap) = self.order.first().copied() else {
+            return false;
+        };
+        self.join(id, NodeId::from_key(bootstrap)).is_ok()
+    }
+
+    fn kill(&mut self, id: NodeId) -> bool {
+        self.fail(id).is_ok()
+    }
+
+    fn stabilize(&mut self) {
+        self.converge(64);
+        self.repair_replication();
     }
 }
 

@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 
-use crate::api::{Dht, DhtStats, NodeId};
+use crate::api::{Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
 use crate::chord::ChordError;
 use crate::key::{Key, KEY_BITS};
 use crate::storage::NodeStore;
@@ -372,6 +372,40 @@ fn bucket_index(a: &Key, b: &Key) -> usize {
 }
 
 impl Dht for KademliaNetwork {
+    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        let Some(origin) = self.pick_origin() else {
+            return Err(DhtError::NoLiveNodes);
+        };
+        match op {
+            DhtOp::NodeFor(key) => {
+                let node = self.nearest_node(&key).expect("non-empty network");
+                Ok(DhtResponse::Node(NodeId::from_key(node)))
+            }
+            DhtOp::Get(key) => Ok(DhtResponse::Values(self.get(&key))),
+            DhtOp::Put { key, value } => {
+                let (_closest, _hops) = self.find_closest(origin, &key);
+                self.stats.messages.fetch_add(2, Ordering::Relaxed);
+                let targets = self.store_set(&key);
+                let mut stored = false;
+                for t in targets {
+                    let state = self.nodes.get_mut(&t).expect("live node");
+                    stored |= state.store.put(key, value.clone());
+                }
+                Ok(DhtResponse::Stored(stored))
+            }
+            DhtOp::Remove { key, value } => {
+                let (_closest, _hops) = self.find_closest(origin, &key);
+                self.stats.messages.fetch_add(2, Ordering::Relaxed);
+                let mut removed = false;
+                for t in self.store_set(&key) {
+                    let state = self.nodes.get_mut(&t).expect("live node");
+                    removed |= state.store.remove(&key, &value);
+                }
+                Ok(DhtResponse::Removed(removed))
+            }
+        }
+    }
+
     fn node_for(&self, key: &Key) -> Option<NodeId> {
         // Responsibility is XOR-nearest; the iterative lookup (with table
         // learning) lives on the mutating paths.
@@ -380,21 +414,6 @@ impl Dht for KademliaNetwork {
 
     fn nodes(&self) -> Vec<NodeId> {
         self.order.iter().copied().map(NodeId::from_key).collect()
-    }
-
-    fn put(&mut self, key: Key, value: Bytes) -> bool {
-        let Some(origin) = self.pick_origin() else {
-            return false;
-        };
-        let (_closest, _hops) = self.find_closest(origin, &key);
-        self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        let targets = self.store_set(&key);
-        let mut stored = false;
-        for t in targets {
-            let state = self.nodes.get_mut(&t).expect("live node");
-            stored |= state.store.put(key, value.clone());
-        }
-        stored
     }
 
     fn get(&self, key: &Key) -> Vec<Bytes> {
@@ -415,20 +434,6 @@ impl Dht for KademliaNetwork {
         out
     }
 
-    fn remove(&mut self, key: &Key, value: &[u8]) -> bool {
-        let Some(origin) = self.pick_origin() else {
-            return false;
-        };
-        let (_closest, _hops) = self.find_closest(origin, key);
-        self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        let mut removed = false;
-        for t in self.store_set(key) {
-            let state = self.nodes.get_mut(&t).expect("live node");
-            removed |= state.store.remove(key, value);
-        }
-        removed
-    }
-
     fn stats(&self) -> DhtStats {
         DhtStats {
             messages: self.stats.messages.load(Ordering::Relaxed),
@@ -439,6 +444,23 @@ impl Dht for KademliaNetwork {
 
     fn len(&self) -> usize {
         self.order.len()
+    }
+}
+
+impl NodeChurn for KademliaNetwork {
+    fn spawn(&mut self, id: NodeId) -> bool {
+        let Some(bootstrap) = self.order.first().copied() else {
+            return false;
+        };
+        self.join(id, NodeId::from_key(bootstrap)).is_ok()
+    }
+
+    fn kill(&mut self, id: NodeId) -> bool {
+        self.fail(id).is_ok()
+    }
+
+    fn stabilize(&mut self) {
+        self.rebalance_keys();
     }
 }
 

@@ -19,8 +19,13 @@
 //!   alongside Chord;
 //! * [`ring`] — a direct consistent-hash ring with identical key placement,
 //!   used where the substrate is assumed rather than studied;
-//! * [`api`] — the [`Dht`] trait both substrates implement, which is all the
-//!   indexing layer ever sees.
+//! * [`faulty`] — a deterministic fault-injecting wrapper (message loss,
+//!   timeouts, node churn) around any substrate, for robustness studies;
+//! * [`api`] — the [`Dht`] trait all substrates implement, which is all the
+//!   indexing layer ever sees. Operations go through the fallible
+//!   [`Dht::execute`] entry point ([`DhtOp`] → [`DhtResponse`] /
+//!   [`DhtError`]); `put`/`get`/`remove` remain as infallible convenience
+//!   methods.
 //!
 //! # Quick start
 //!
@@ -39,6 +44,7 @@
 
 pub mod api;
 pub mod chord;
+pub mod faulty;
 pub mod hash;
 pub mod kademlia;
 pub mod key;
@@ -46,8 +52,9 @@ pub mod pastry;
 pub mod ring;
 pub mod storage;
 
-pub use api::{Dht, DhtStats, NodeId};
+pub use api::{Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
 pub use chord::{ChordConfig, ChordError, ChordNetwork};
+pub use faulty::{FaultConfig, FaultStats, FaultyDht, SplitMix64};
 pub use kademlia::{KademliaConfig, KademliaNetwork};
 pub use key::{Key, KEY_BITS};
 pub use pastry::{PastryConfig, PastryNetwork};

@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 
-use crate::api::{Dht, DhtStats, NodeId};
+use crate::api::{Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
 use crate::chord::ChordError;
 use crate::key::{Key, KEY_BITS};
 use crate::storage::NodeStore;
@@ -521,6 +521,39 @@ impl Default for PastryNetwork {
 }
 
 impl Dht for PastryNetwork {
+    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        let Some(origin) = self.pick_origin() else {
+            return Err(DhtError::NoLiveNodes);
+        };
+        match op {
+            DhtOp::NodeFor(key) => {
+                let (node, _hops) = self.route_from(origin, &key);
+                Ok(DhtResponse::Node(NodeId::from_key(node)))
+            }
+            DhtOp::Get(key) => Ok(DhtResponse::Values(self.get(&key))),
+            DhtOp::Put { key, value } => {
+                let (_node, _hops) = self.route_from(origin, &key);
+                self.stats.messages.fetch_add(2, Ordering::Relaxed);
+                let mut stored = false;
+                for replica in self.replica_set(&key) {
+                    let state = self.nodes.get_mut(&replica).expect("live replica");
+                    stored |= state.store.put(key, value.clone());
+                }
+                Ok(DhtResponse::Stored(stored))
+            }
+            DhtOp::Remove { key, value } => {
+                let (_node, _hops) = self.route_from(origin, &key);
+                self.stats.messages.fetch_add(2, Ordering::Relaxed);
+                let mut removed = false;
+                for replica in self.replica_set(&key) {
+                    let state = self.nodes.get_mut(&replica).expect("live replica");
+                    removed |= state.store.remove(&key, &value);
+                }
+                Ok(DhtResponse::Removed(removed))
+            }
+        }
+    }
+
     fn node_for(&self, key: &Key) -> Option<NodeId> {
         let origin = self.pick_origin()?;
         let (node, _hops) = self.route_from(origin, key);
@@ -529,20 +562,6 @@ impl Dht for PastryNetwork {
 
     fn nodes(&self) -> Vec<NodeId> {
         self.order.iter().copied().map(NodeId::from_key).collect()
-    }
-
-    fn put(&mut self, key: Key, value: Bytes) -> bool {
-        let Some(origin) = self.pick_origin() else {
-            return false;
-        };
-        let (_node, _hops) = self.route_from(origin, &key);
-        self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        let mut stored = false;
-        for replica in self.replica_set(&key) {
-            let state = self.nodes.get_mut(&replica).expect("live replica");
-            stored |= state.store.put(key, value.clone());
-        }
-        stored
     }
 
     fn get(&self, key: &Key) -> Vec<Bytes> {
@@ -570,20 +589,6 @@ impl Dht for PastryNetwork {
         Vec::new()
     }
 
-    fn remove(&mut self, key: &Key, value: &[u8]) -> bool {
-        let Some(origin) = self.pick_origin() else {
-            return false;
-        };
-        let (_node, _hops) = self.route_from(origin, key);
-        self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        let mut removed = false;
-        for replica in self.replica_set(key) {
-            let state = self.nodes.get_mut(&replica).expect("live replica");
-            removed |= state.store.remove(key, value);
-        }
-        removed
-    }
-
     fn stats(&self) -> DhtStats {
         DhtStats {
             messages: self.stats.messages.load(Ordering::Relaxed),
@@ -594,6 +599,23 @@ impl Dht for PastryNetwork {
 
     fn len(&self) -> usize {
         self.order.len()
+    }
+}
+
+impl NodeChurn for PastryNetwork {
+    fn spawn(&mut self, id: NodeId) -> bool {
+        let Some(bootstrap) = self.order.first().copied() else {
+            return false;
+        };
+        self.join(id, NodeId::from_key(bootstrap)).is_ok()
+    }
+
+    fn kill(&mut self, id: NodeId) -> bool {
+        self.fail(id).is_ok()
+    }
+
+    fn stabilize(&mut self) {
+        self.repair();
     }
 }
 

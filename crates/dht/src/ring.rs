@@ -11,10 +11,11 @@
 //! substrate-independence ablation bench).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 
-use crate::api::{Dht, DhtStats, NodeId};
+use crate::api::{Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
 use crate::key::Key;
 use crate::storage::NodeStore;
 
@@ -35,13 +36,26 @@ use crate::storage::NodeStore;
 /// ring.put(key, Bytes::from_static(b"John/Smith"));
 /// assert_eq!(ring.get(&key), vec![Bytes::from_static(b"John/Smith")]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct RingDht {
     /// Sorted node positions.
     order: Vec<Key>,
     stores: HashMap<Key, NodeStore>,
-    lookups: u64,
-    messages: u64,
+    // Atomic so the shared-reference read path (`get`) can account its
+    // request/response pair like every other substrate does.
+    lookups: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl Clone for RingDht {
+    fn clone(&self) -> Self {
+        RingDht {
+            order: self.order.clone(),
+            stores: self.stores.clone(),
+            lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
+            messages: AtomicU64::new(self.messages.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl RingDht {
@@ -160,6 +174,40 @@ impl RingDht {
 }
 
 impl Dht for RingDht {
+    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        if self.order.is_empty() {
+            return Err(DhtError::NoLiveNodes);
+        }
+        match op {
+            DhtOp::NodeFor(key) => {
+                let owner = self.owner(&key).expect("non-empty ring has an owner");
+                Ok(DhtResponse::Node(owner))
+            }
+            DhtOp::Get(key) => Ok(DhtResponse::Values(self.get(&key))),
+            DhtOp::Put { key, value } => {
+                let owner = self.owner(&key).expect("non-empty ring has an owner");
+                self.lookups.fetch_add(1, Ordering::Relaxed);
+                self.messages.fetch_add(2, Ordering::Relaxed);
+                let stored = self
+                    .stores
+                    .get_mut(owner.key())
+                    .expect("owner has a store")
+                    .put(key, value);
+                Ok(DhtResponse::Stored(stored))
+            }
+            DhtOp::Remove { key, value } => {
+                let owner = self.owner(&key).expect("non-empty ring has an owner");
+                self.messages.fetch_add(2, Ordering::Relaxed);
+                let removed = self
+                    .stores
+                    .get_mut(owner.key())
+                    .expect("owner has a store")
+                    .remove(&key, &value);
+                Ok(DhtResponse::Removed(removed))
+            }
+        }
+    }
+
     fn node_for(&self, key: &Key) -> Option<NodeId> {
         self.owner(key)
     }
@@ -168,46 +216,37 @@ impl Dht for RingDht {
         self.order.iter().copied().map(NodeId::from_key).collect()
     }
 
-    fn put(&mut self, key: Key, value: Bytes) -> bool {
-        let Some(owner) = self.owner(&key) else {
-            return false;
-        };
-        self.lookups += 1;
-        self.messages += 2;
-        self.stores
-            .get_mut(owner.key())
-            .expect("owner has a store")
-            .put(key, value)
-    }
-
     fn get(&self, key: &Key) -> Vec<Bytes> {
         match self.owner(key) {
-            Some(owner) => self.stores[owner.key()].get(key).to_vec(),
+            Some(owner) => {
+                self.lookups.fetch_add(1, Ordering::Relaxed);
+                self.messages.fetch_add(2, Ordering::Relaxed);
+                self.stores[owner.key()].get(key).to_vec()
+            }
             None => Vec::new(),
         }
     }
 
-    fn remove(&mut self, key: &Key, value: &[u8]) -> bool {
-        let Some(owner) = self.owner(key) else {
-            return false;
-        };
-        self.messages += 2;
-        self.stores
-            .get_mut(owner.key())
-            .expect("owner has a store")
-            .remove(key, value)
-    }
-
     fn stats(&self) -> DhtStats {
         DhtStats {
-            messages: self.messages,
-            lookups: self.lookups,
+            messages: self.messages.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
             hops: 0,
         }
     }
 
     fn len(&self) -> usize {
         self.order.len()
+    }
+}
+
+impl NodeChurn for RingDht {
+    fn spawn(&mut self, id: NodeId) -> bool {
+        self.add_node(id)
+    }
+
+    fn kill(&mut self, id: NodeId) -> bool {
+        self.remove_node(id)
     }
 }
 

@@ -1,0 +1,217 @@
+//! Shared trait-conformance suite, instantiated for every substrate.
+//!
+//! The index layer is written against [`Dht`] alone, so each substrate —
+//! Chord, Kademlia, Pastry, and the plain ring — must agree on the
+//! observable contract: multi-value registration, duplicate suppression,
+//! removal of one value among several, `node_for` consistency with
+//! `nodes()`, and the message-accounting promise that one RPC
+//! request/response pair counts as two messages. Every check drives the
+//! substrate through the fallible [`Dht::execute`] entry point.
+
+use bytes::Bytes;
+use p2p_index_dht::{
+    ChordNetwork, Dht, DhtError, DhtOp, DhtResponse, KademliaNetwork, Key, PastryNetwork, RingDht,
+};
+
+fn keys(n: usize) -> Vec<Key> {
+    (0..n).map(|i| Key::hash_of(&format!("node-{i}"))).collect()
+}
+
+/// Every substrate, behind the trait, at the given network size.
+fn substrates(n: usize) -> Vec<(&'static str, Box<dyn Dht>)> {
+    vec![
+        ("ring", Box::new(RingDht::from_ids(keys(n)))),
+        (
+            "chord",
+            Box::new(ChordNetwork::with_perfect_tables(keys(n))),
+        ),
+        ("kademlia", Box::new(KademliaNetwork::with_nodes(keys(n)))),
+        (
+            "pastry",
+            Box::new(PastryNetwork::with_perfect_tables(keys(n))),
+        ),
+    ]
+}
+
+fn exec_put(dht: &mut dyn Dht, key: Key, value: &str) -> bool {
+    dht.execute(DhtOp::Put {
+        key,
+        value: Bytes::from(value.to_string()),
+    })
+    .expect("put on live network")
+    .into_stored()
+}
+
+fn exec_get(dht: &mut dyn Dht, key: Key) -> Vec<Bytes> {
+    dht.execute(DhtOp::Get(key))
+        .expect("get on live network")
+        .into_values()
+}
+
+fn exec_remove(dht: &mut dyn Dht, key: Key, value: &str) -> bool {
+    dht.execute(DhtOp::Remove {
+        key,
+        value: Bytes::from(value.to_string()),
+    })
+    .expect("remove on live network")
+    .into_removed()
+}
+
+fn sorted(mut values: Vec<Bytes>) -> Vec<Bytes> {
+    values.sort();
+    values
+}
+
+#[test]
+fn multi_value_registration() {
+    for (name, mut dht) in substrates(32) {
+        let key = Key::hash_of("/article/author/last/Smith");
+        assert!(exec_put(dht.as_mut(), key, "a"), "{name}");
+        assert!(exec_put(dht.as_mut(), key, "b"), "{name}");
+        assert!(exec_put(dht.as_mut(), key, "c"), "{name}");
+        assert_eq!(
+            sorted(exec_get(dht.as_mut(), key)),
+            vec![
+                Bytes::from_static(b"a"),
+                Bytes::from_static(b"b"),
+                Bytes::from_static(b"c")
+            ],
+            "{name}: all values registered under one key must come back"
+        );
+    }
+}
+
+#[test]
+fn duplicate_registration_is_suppressed() {
+    for (name, mut dht) in substrates(32) {
+        let key = Key::hash_of("dup-key");
+        assert!(exec_put(dht.as_mut(), key, "same"), "{name}: first put");
+        assert!(
+            !exec_put(dht.as_mut(), key, "same"),
+            "{name}: duplicate put must report not-newly-stored"
+        );
+        assert_eq!(
+            exec_get(dht.as_mut(), key).len(),
+            1,
+            "{name}: duplicate must not create a second copy"
+        );
+    }
+}
+
+#[test]
+fn remove_one_value_among_several() {
+    for (name, mut dht) in substrates(32) {
+        let key = Key::hash_of("shared");
+        for v in ["v1", "v2", "v3"] {
+            exec_put(dht.as_mut(), key, v);
+        }
+        assert!(exec_remove(dht.as_mut(), key, "v2"), "{name}");
+        assert!(
+            !exec_remove(dht.as_mut(), key, "v2"),
+            "{name}: removing an absent value must report false"
+        );
+        assert_eq!(
+            sorted(exec_get(dht.as_mut(), key)),
+            vec![Bytes::from_static(b"v1"), Bytes::from_static(b"v3")],
+            "{name}: the other values must survive"
+        );
+    }
+}
+
+#[test]
+fn node_for_agrees_with_nodes() {
+    for (name, mut dht) in substrates(24) {
+        let nodes = dht.nodes();
+        assert_eq!(nodes.len(), 24, "{name}");
+        let mut expected = nodes.clone();
+        expected.sort();
+        expected.dedup();
+        assert_eq!(
+            nodes, expected,
+            "{name}: nodes() must be in ascending identifier order"
+        );
+        for i in 0..50 {
+            let key = Key::hash_of(&format!("probe-{i}"));
+            let resolved = dht
+                .execute(DhtOp::NodeFor(key))
+                .expect("resolution on live network")
+                .into_node()
+                .expect("NodeFor answers with a node");
+            assert!(
+                nodes.contains(&resolved),
+                "{name}: node_for must name a live node"
+            );
+            assert_eq!(
+                dht.node_for(&key),
+                Some(resolved),
+                "{name}: execute(NodeFor) and node_for must agree"
+            );
+        }
+    }
+}
+
+#[test]
+fn rpc_pairs_count_as_two_messages() {
+    // On a single-node network no routing hops occur, so the counters
+    // isolate the terminal RPC of each operation: put, get, and remove are
+    // one request/response pair — two messages — each.
+    for (name, mut dht) in substrates(1) {
+        assert_eq!(dht.stats().messages, 0, "{name}: fresh network");
+        let key = Key::hash_of("pinned");
+        exec_put(dht.as_mut(), key, "v");
+        assert_eq!(dht.stats().messages, 2, "{name}: put = request + response");
+        exec_get(dht.as_mut(), key);
+        assert_eq!(dht.stats().messages, 4, "{name}: get = request + response");
+        exec_remove(dht.as_mut(), key, "v");
+        assert_eq!(
+            dht.stats().messages,
+            6,
+            "{name}: remove = request + response"
+        );
+    }
+}
+
+#[test]
+fn empty_network_reports_no_live_nodes() {
+    let empties: Vec<(&'static str, Box<dyn Dht>)> = vec![
+        ("ring", Box::new(RingDht::new())),
+        ("chord", Box::new(ChordNetwork::new())),
+        ("kademlia", Box::new(KademliaNetwork::new())),
+        ("pastry", Box::new(PastryNetwork::new())),
+    ];
+    for (name, mut dht) in empties {
+        for op in [
+            DhtOp::NodeFor(Key::hash_of("k")),
+            DhtOp::Get(Key::hash_of("k")),
+            DhtOp::Put {
+                key: Key::hash_of("k"),
+                value: Bytes::from_static(b"v"),
+            },
+            DhtOp::Remove {
+                key: Key::hash_of("k"),
+                value: Bytes::from_static(b"v"),
+            },
+        ] {
+            assert_eq!(
+                dht.execute(op.clone()),
+                Err(DhtError::NoLiveNodes),
+                "{name}: {op:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn convenience_wrappers_match_execute() {
+    for (name, mut dht) in substrates(16) {
+        let key = Key::hash_of("wrapped");
+        assert!(dht.put(key, Bytes::from_static(b"v")), "{name}");
+        assert_eq!(
+            dht.execute(DhtOp::Get(key)).unwrap(),
+            DhtResponse::Values(vec![Bytes::from_static(b"v")]),
+            "{name}: wrapper put must be visible through execute"
+        );
+        assert!(dht.remove(&key, b"v"), "{name}");
+        assert!(dht.get(&key).is_empty(), "{name}");
+    }
+}

@@ -4,7 +4,8 @@
 //! repro <exhibit> [--small] [--nodes N] [--articles N] [--queries N]
 //!                 [--seed N] [--csv DIR]
 //!
-//! exhibits: fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1 storage all
+//! exhibits: fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1 storage
+//!           ext-structures ext-churn robustness all
 //! ```
 //!
 //! Default scale is the paper's (500 nodes, 10 000 articles, 50 000
@@ -54,7 +55,7 @@ fn parse_num(value: Option<String>, flag: &str) -> Result<usize, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig7|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|storage|ext-structures|ext-churn|all> \
+    "usage: repro <fig7|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|storage|ext-structures|ext-churn|robustness|all> \
      [--small] [--nodes N] [--articles N] [--queries N] [--seed N] [--csv DIR]"
         .to_string()
 }
@@ -109,6 +110,10 @@ fn main() -> ExitCode {
                 "ext_structures",
             ),
             "ext-churn" => emit(&experiments::ext_churn(&cfg), csv, "ext_churn"),
+            // Deliberately not part of "all": the loss × budget sweep
+            // re-publishes the corpus per cell, and "all" stays the exact
+            // paper reproduction (faults are an extension).
+            "robustness" => emit(&experiments::ext_robustness(&cfg), csv, "ext_robustness"),
             _ => return false,
         }
         true

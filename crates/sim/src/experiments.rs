@@ -500,6 +500,105 @@ pub fn ext_churn(base: &EvalConfig) -> TextTable {
     t
 }
 
+/// Extension (not a paper exhibit): search robustness under message loss.
+///
+/// The paper layers its indexes on "an arbitrary P2P DHT infrastructure";
+/// real infrastructures lose messages. This sweep wraps the ring substrate
+/// in a deterministic [`FaultyDht`](p2p_index_dht::FaultyDht), publishes
+/// the corpus while healthy, then runs the query workload at each message
+/// loss rate × retry budget combination. Reported per cell: end-to-end
+/// search success (the target file located), how often the report was
+/// marked partial, and the retry/backoff cost the budget buys.
+///
+/// With a budget of 1 (no retries) success collapses roughly as
+/// `(1 − loss)ᵏ` in the number of sub-lookups `k`; a budget of 3 drives
+/// the per-operation abandonment rate to `loss³` and holds end-to-end
+/// success above 99 % even at 10 % loss.
+pub fn ext_robustness(base: &EvalConfig) -> TextTable {
+    use p2p_index_core::{IndexService, RetryPolicy, SimpleScheme};
+    use p2p_index_dht::{FaultConfig, FaultyDht, RingDht};
+    use p2p_index_workload::{Corpus, CorpusConfig, QueryGenerator};
+
+    let corpus = Corpus::generate(CorpusConfig {
+        articles: base.articles,
+        author_pool: (base.articles / 4).max(16),
+        seed: base.seed,
+        ..CorpusConfig::default()
+    });
+    let loss_rates = [0.0, 0.05, 0.10, 0.20];
+    let budgets = [1u32, 2, 3];
+    let cells = loss_rates.len() * budgets.len();
+    let queries_per_cell = (base.queries / cells).max(50);
+
+    let mut t = TextTable::new("Extension — Search robustness: message loss × retry budget");
+    t.header([
+        "loss",
+        "budget",
+        "queries",
+        "success_rate",
+        "partial_rate",
+        "retries/query",
+        "abandoned/query",
+        "backoff_ms/query",
+    ]);
+
+    for (li, &loss) in loss_rates.iter().enumerate() {
+        for (bi, &budget) in budgets.iter().enumerate() {
+            // Distinct deterministic seeds per cell, derived from the run seed.
+            let cell_seed = base.seed ^ ((li as u64 + 1) * 1009 + bi as u64 * 101);
+            let dht = FaultyDht::transparent(RingDht::with_named_nodes(base.nodes));
+            let mut service = IndexService::with_retry(
+                dht,
+                CachePolicy::None,
+                RetryPolicy::with_budget(cell_seed, budget),
+            );
+            for a in corpus.articles() {
+                service
+                    .publish(&a.descriptor(), a.file_name(), &SimpleScheme)
+                    .expect("publishing happens before faults are enabled");
+            }
+            service
+                .dht_mut()
+                .set_fault_config(FaultConfig::lossy(cell_seed, loss));
+
+            // Same per-cell query stream, so cells differ only in faults.
+            let mut generator =
+                QueryGenerator::new(&corpus, StructureMix::paper_simulation(), base.seed);
+            let mut successes = 0u64;
+            let mut partial = 0u64;
+            let mut retries = 0u64;
+            let mut abandoned = 0u64;
+            let mut backoff_ms = 0u64;
+            for _ in 0..queries_per_cell {
+                let item = generator.next_query();
+                let article = corpus.article(item.target).expect("valid target");
+                let report = service
+                    .search(&item.query)
+                    .expect("faults degrade results, they do not abort");
+                if report.files.iter().any(|h| h.file == article.file_name()) {
+                    successes += 1;
+                }
+                partial += report.is_partial() as u64;
+                retries += report.completeness.retries;
+                abandoned += u64::from(report.completeness.abandoned);
+                backoff_ms += report.completeness.backoff_ms;
+            }
+            let n = queries_per_cell as f64;
+            t.row([
+                fmt_f(loss, 2),
+                budget.to_string(),
+                queries_per_cell.to_string(),
+                fmt_f(successes as f64 / n, 4),
+                fmt_f(partial as f64 / n, 4),
+                fmt_f(retries as f64 / n, 2),
+                fmt_f(abandoned as f64 / n, 3),
+                fmt_f(backoff_ms as f64 / n, 1),
+            ]);
+        }
+    }
+    t
+}
+
 /// Log-spaced ranks in `1..=n` (for log-log plots).
 fn log_ranks(n: usize) -> Vec<usize> {
     let mut out = Vec::new();
@@ -727,6 +826,62 @@ mod tests {
             assert_eq!(cells[3], "100.0%", "batch {} found-rate", cells[0]);
         }
         assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn ext_robustness_retries_rescue_lossy_searches() {
+        let base = EvalConfig {
+            nodes: 32,
+            articles: 150,
+            queries: 9_600, // 800 queries per sweep cell
+            seed: 42,
+        };
+        let t = ext_robustness(&base);
+        assert_eq!(t.len(), 12, "4 loss rates × 3 budgets");
+        let csv = t.to_csv();
+        let mut saw_partial_cell = false;
+        for line in csv.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let loss: f64 = cells[0].parse().unwrap();
+            let budget: u32 = cells[1].parse().unwrap();
+            let success: f64 = cells[3].parse().unwrap();
+            let partial: f64 = cells[4].parse().unwrap();
+            let retries: f64 = cells[5].parse().unwrap();
+            let abandoned: f64 = cells[6].parse().unwrap();
+            if loss == 0.0 {
+                // A healthy substrate is exactly the pre-fault behavior.
+                assert_eq!(success, 1.0, "lossless cell must find everything");
+                assert_eq!(partial, 0.0);
+                assert_eq!(retries, 0.0);
+            } else if budget > 1 {
+                assert!(retries > 0.0, "loss {loss} budget {budget} must retry");
+            } else {
+                assert_eq!(retries, 0.0, "budget 1 can never retry");
+            }
+            if loss >= 0.10 && budget == 1 {
+                // No retry budget: multi-lookup searches collapse.
+                assert!(
+                    success < 0.99,
+                    "loss {loss} without retries should degrade (got {success})"
+                );
+                saw_partial_cell = true;
+                assert!(partial > 0.0, "degraded searches must be marked partial");
+            }
+            if (loss - 0.10).abs() < 1e-9 && budget == 3 {
+                // The acceptance bar: 10% loss, budget 3 ⇒ ≥ 99% success.
+                assert!(
+                    success >= 0.99,
+                    "10% loss with budget 3 must stay above 99% (got {success})"
+                );
+            }
+            if partial > 0.0 {
+                assert!(
+                    abandoned > 0.0,
+                    "partial results imply abandoned sub-lookups"
+                );
+            }
+        }
+        assert!(saw_partial_cell);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!
 //! | Layer | Crate | Contents |
 //! |---|---|---|
-//! | Substrate | [`dht`] | SHA-1, 160-bit key space, Chord protocol simulation, consistent-hash ring, multi-value storage |
+//! | Substrate | [`dht`] | SHA-1, 160-bit key space, Chord protocol simulation, consistent-hash ring, multi-value storage, fault injection (`FaultyDht`) |
 //! | Data model | [`xmldoc`] | XML descriptors: tree, parser, canonical form |
 //! | Query language | [`xpath`] | XPath-subset parsing, evaluation, covering relation `⊒` |
 //! | **Contribution** | [`index`] | index schemes, publish/search, generalization, adaptive shortcut cache |
@@ -66,12 +66,14 @@ pub use p2p_index_xpath as xpath;
 /// The most commonly used items, in one import.
 pub mod prelude {
     pub use p2p_index_core::{
-        CachePolicy, ComplexScheme, CustomScheme, Fig4Scheme, FlatScheme, FuzzyCorrector,
-        IndexError, IndexScheme, IndexService, IndexTarget, InitialLetterScheme,
-        KeywordTitleScheme, SearchReport, SearchSession, SessionReport, SessionState, SimpleScheme,
+        CachePolicy, Completeness, ComplexScheme, CustomScheme, Fig4Scheme, FlatScheme,
+        FuzzyCorrector, IndexError, IndexScheme, IndexService, IndexTarget, InitialLetterScheme,
+        KeywordTitleScheme, RetryPolicy, SearchReport, SearchSession, SessionReport, SessionState,
+        SimpleScheme,
     };
     pub use p2p_index_dht::{
-        ChordNetwork, Dht, KademliaNetwork, Key, NodeId, PastryNetwork, RingDht,
+        ChordNetwork, Dht, DhtError, DhtOp, DhtResponse, FaultConfig, FaultyDht, KademliaNetwork,
+        Key, NodeChurn, NodeId, PastryNetwork, RingDht,
     };
     pub use p2p_index_workload::{
         Corpus, CorpusConfig, QueryGenerator, QueryStructure, StructureMix,
