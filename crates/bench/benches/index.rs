@@ -112,29 +112,31 @@ fn bench_generalization_search(c: &mut Criterion) {
 }
 
 fn bench_cache(c: &mut Criterion) {
-    let queries: Vec<Query> = (0..1000)
-        .map(|i| format!("/article/title/T{i}").parse().expect("valid query"))
+    // The cache is keyed by the query's memoized DHT key (20-byte `Copy`),
+    // so steady-state probes touch no query clones or string rendering.
+    let keys: Vec<p2p_index_dht::Key> = (0..1000)
+        .map(|i| {
+            let q: Query = format!("/article/title/T{i}").parse().expect("valid query");
+            p2p_index_dht::Key::hash_of(q.canonical_text())
+        })
         .collect();
     c.bench_function("cache/lru30_insert_evict", |b| {
         let mut cache = ShortcutCache::with_capacity(30);
         let mut i = 0usize;
         b.iter(|| {
             i = i.wrapping_add(1);
-            cache.insert(
-                queries[i % queries.len()].clone(),
-                IndexTarget::File("f".into()),
-            )
+            cache.insert(keys[i % keys.len()], IndexTarget::File("f".into()))
         })
     });
     c.bench_function("cache/hit", |b| {
         let mut cache = ShortcutCache::new();
-        for q in &queries {
-            cache.insert(q.clone(), IndexTarget::File("f".into()));
+        for k in &keys {
+            cache.insert(*k, IndexTarget::File("f".into()));
         }
         let mut i = 0usize;
         b.iter(|| {
             i = i.wrapping_add(1);
-            cache.get(&queries[i % queries.len()]).is_some()
+            cache.get(&keys[i % keys.len()]).is_some()
         })
     });
 }

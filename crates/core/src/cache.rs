@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use p2p_index_xpath::Query;
+use p2p_index_dht::Key;
 
 use crate::target::IndexTarget;
 
@@ -71,8 +71,12 @@ struct Slot {
     last_used: u64,
 }
 
-/// One node's shortcut cache: query → direct targets, LRU-evicted when a
-/// capacity is set.
+/// One node's shortcut cache: query key `h(q)` → direct targets,
+/// LRU-evicted when a capacity is set.
+///
+/// Slots are keyed by the query's memoized DHT key rather than the query
+/// itself: the key is a 20-byte `Copy` value, so cache probes on the
+/// lookup hot path never clone a query or re-render its canonical text.
 ///
 /// A cached key may accumulate several targets (e.g. two popular articles
 /// by the same author reached through the same broad query); they are
@@ -80,7 +84,7 @@ struct Slot {
 /// entries.
 #[derive(Debug, Clone, Default)]
 pub struct ShortcutCache {
-    slots: HashMap<Query, Slot>,
+    slots: HashMap<Key, Slot>,
     capacity: Option<usize>,
     clock: u64,
 }
@@ -107,7 +111,7 @@ impl ShortcutCache {
         }
     }
 
-    /// Inserts a shortcut `query → target`, *replacing* any previous
+    /// Inserts a shortcut `h(query) → target`, *replacing* any previous
     /// shortcut under the same key.
     ///
     /// A shortcut is "a direct mapping between a generic query and the
@@ -117,12 +121,12 @@ impl ShortcutCache {
     /// cache changed (new key, or a different target than before).
     /// Inserting into a full LRU cache evicts the least-recently-used key
     /// first; a capacity of 0 stores nothing.
-    pub fn insert(&mut self, query: Query, target: IndexTarget) -> bool {
+    pub fn insert(&mut self, key: Key, target: IndexTarget) -> bool {
         if self.capacity == Some(0) {
             return false;
         }
         self.clock += 1;
-        if let Some(slot) = self.slots.get_mut(&query) {
+        if let Some(slot) = self.slots.get_mut(&key) {
             slot.last_used = self.clock;
             if slot.targets.first() == Some(&target) {
                 return false;
@@ -136,13 +140,13 @@ impl ShortcutCache {
                     .slots
                     .iter()
                     .min_by_key(|(_, s)| s.last_used)
-                    .map(|(q, _)| q.clone())
+                    .map(|(k, _)| *k)
                     .expect("cache is non-empty");
                 self.slots.remove(&evict);
             }
         }
         self.slots.insert(
-            query,
+            key,
             Slot {
                 targets: vec![target],
                 last_used: self.clock,
@@ -151,19 +155,20 @@ impl ShortcutCache {
         true
     }
 
-    /// Looks up the shortcuts for `query`, refreshing its LRU position.
-    pub fn get(&mut self, query: &Query) -> Option<&[IndexTarget]> {
+    /// Looks up the shortcuts for query key `key`, refreshing its LRU
+    /// position.
+    pub fn get(&mut self, key: &Key) -> Option<&[IndexTarget]> {
         self.clock += 1;
         let clock = self.clock;
-        self.slots.get_mut(query).map(|slot| {
+        self.slots.get_mut(key).map(|slot| {
             slot.last_used = clock;
             slot.targets.as_slice()
         })
     }
 
     /// Looks up without touching recency (for inspection).
-    pub fn peek(&self, query: &Query) -> Option<&[IndexTarget]> {
-        self.slots.get(query).map(|s| s.targets.as_slice())
+    pub fn peek(&self, key: &Key) -> Option<&[IndexTarget]> {
+        self.slots.get(key).map(|s| s.targets.as_slice())
     }
 
     /// Number of cached keys.
@@ -205,8 +210,8 @@ impl ShortcutCache {
 mod tests {
     use super::*;
 
-    fn q(s: &str) -> Query {
-        s.parse().unwrap()
+    fn q(s: &str) -> Key {
+        Key::hash_of(s)
     }
 
     fn file(name: &str) -> IndexTarget {

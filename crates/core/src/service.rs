@@ -212,6 +212,10 @@ pub struct IndexService<D> {
     retry_stats: RetryStats,
     /// Simulated clock, advanced by retry backoff (milliseconds).
     sim_clock_ms: u64,
+    /// Interned `query → h(q)` keys: each distinct query is SHA-1-hashed at
+    /// most once per service lifetime; steady-state lookups only pay a
+    /// `HashMap` probe on the query's memoized canonical text.
+    key_cache: HashMap<Query, Key>,
 }
 
 impl<D: Dht> IndexService<D> {
@@ -233,6 +237,7 @@ impl<D: Dht> IndexService<D> {
             retry_rng: SplitMix64::new(retry.seed),
             retry_stats: RetryStats::default(),
             sim_clock_ms: 0,
+            key_cache: HashMap::new(),
         }
     }
 
@@ -284,8 +289,25 @@ impl<D: Dht> IndexService<D> {
     }
 
     /// The DHT key of a query: `h(canonical text)`.
+    ///
+    /// Pure and allocation-free (the canonical text is memoized on the
+    /// query), but always recomputes the SHA-1. Hot paths inside the
+    /// service use [`cached_key`](Self::cached_key) instead.
     pub fn key_of(query: &Query) -> Key {
-        Key::hash_of(&query.to_string())
+        Key::hash_of(query.canonical_text())
+    }
+
+    /// The DHT key of a query, interned: the SHA-1 is computed on the first
+    /// sighting of each distinct query and served from the `query → key`
+    /// table afterwards. The table caches a pure function of the query's
+    /// canonical text, so entries can never go stale.
+    pub fn cached_key(&mut self, query: &Query) -> Key {
+        if let Some(k) = self.key_cache.get(query) {
+            return *k;
+        }
+        let k = Key::hash_of(query.canonical_text());
+        self.key_cache.insert(query.clone(), k);
+        k
     }
 
     /// The underlying DHT (read-only).
@@ -370,8 +392,9 @@ impl<D: Dht> IndexService<D> {
             return Err(IndexError::EmptyNetwork);
         }
         let msd = Query::most_specific(descriptor);
+        let msd_key = self.cached_key(&msd);
         self.dht_execute(DhtOp::Put {
-            key: Self::key_of(&msd),
+            key: msd_key,
             value: IndexTarget::File(file.into()).to_bytes(),
         })?;
         for (from, to) in scheme.index_edges(descriptor, &msd) {
@@ -395,8 +418,9 @@ impl<D: Dht> IndexService<D> {
                 to: to.to_string(),
             });
         }
+        let from_key = self.cached_key(&from);
         self.dht_execute(DhtOp::Put {
-            key: Self::key_of(&from),
+            key: from_key,
             value: IndexTarget::Query(to).to_bytes(),
         })?;
         Ok(())
@@ -421,7 +445,7 @@ impl<D: Dht> IndexService<D> {
     /// [`IndexError::EmptyNetwork`] without live nodes; [`IndexError::Decode`]
     /// if a stored entry is corrupt.
     pub fn lookup_step(&mut self, query: &Query) -> Result<StepResponse, IndexError> {
-        let key = Self::key_of(query);
+        let key = self.cached_key(query);
         let node = self
             .dht_execute(DhtOp::NodeFor(key))?
             .into_node()
@@ -431,7 +455,7 @@ impl<D: Dht> IndexService<D> {
         let cached: Vec<IndexTarget> = self
             .caches
             .get_mut(&node)
-            .and_then(|c| c.get(query))
+            .and_then(|c| c.get(&key))
             .map(<[IndexTarget]>::to_vec)
             .unwrap_or_default();
 
@@ -445,7 +469,7 @@ impl<D: Dht> IndexService<D> {
             Vec::new()
         };
 
-        let request = query.to_string().len() as u64;
+        let request = query.canonical_text().len() as u64;
         let response: u64 = cached
             .iter()
             .chain(indexed.iter())
@@ -473,7 +497,7 @@ impl<D: Dht> IndexService<D> {
         &mut self,
         query: &Query,
     ) -> Result<StepResponse, IndexError> {
-        let key = Self::key_of(query);
+        let key = self.cached_key(query);
         let node = self
             .dht_execute(DhtOp::NodeFor(key))?
             .into_node()
@@ -485,7 +509,7 @@ impl<D: Dht> IndexService<D> {
             .iter()
             .map(|b| IndexTarget::from_bytes(b))
             .collect::<Result<_, _>>()?;
-        let request = query.to_string().len() as u64;
+        let request = query.canonical_text().len() as u64;
         let response: u64 = indexed.iter().map(|t| t.encoded_len() as u64).sum();
         self.traffic.record_exchange(request, response);
         Ok(StepResponse {
@@ -519,13 +543,15 @@ impl<D: Dht> IndexService<D> {
             if Some(query) == target.as_query() {
                 continue;
             }
+            let key = self.cached_key(query);
             let cache = self
                 .caches
                 .entry(*node)
                 .or_insert_with(|| ShortcutCache::for_policy(self.policy));
-            if cache.insert(query.clone(), target.clone()) {
-                self.traffic
-                    .record_cache_update((query.to_string().len() + target.encoded_len()) as u64);
+            if cache.insert(key, target.clone()) {
+                self.traffic.record_cache_update(
+                    (query.canonical_text().len() + target.encoded_len()) as u64,
+                );
                 created += 1;
             }
         }
@@ -670,8 +696,9 @@ impl<D: Dht> IndexService<D> {
             return Err(IndexError::EmptyNetwork);
         }
         let msd = Query::most_specific(descriptor);
+        let msd_key = self.cached_key(&msd);
         self.dht_execute(DhtOp::Remove {
-            key: Self::key_of(&msd),
+            key: msd_key,
             value: IndexTarget::File(file.to_string()).to_bytes(),
         })?;
 
@@ -679,15 +706,17 @@ impl<D: Dht> IndexService<D> {
         loop {
             let mut changed = false;
             for (from, to) in &edges {
+                let to_key = self.cached_key(to);
                 if self
-                    .dht_execute(DhtOp::Get(Self::key_of(to)))?
+                    .dht_execute(DhtOp::Get(to_key))?
                     .into_values()
                     .is_empty()
                 {
                     let entry = IndexTarget::Query(to.clone()).to_bytes();
+                    let from_key = self.cached_key(from);
                     if self
                         .dht_execute(DhtOp::Remove {
-                            key: Self::key_of(from),
+                            key: from_key,
                             value: entry,
                         })?
                         .into_removed()

@@ -50,9 +50,10 @@ impl IndexTarget {
     }
 
     /// Size of the wire encoding in bytes — the unit of the traffic model.
+    /// Allocation-free: the query branch reads the memoized canonical text.
     pub fn encoded_len(&self) -> usize {
         match self {
-            IndexTarget::Query(q) => 2 + q.to_string().len(),
+            IndexTarget::Query(q) => 2 + q.canonical_text().len(),
             IndexTarget::File(f) => 2 + f.len(),
         }
     }

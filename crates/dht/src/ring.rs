@@ -4,13 +4,14 @@
 //! assume that the underlying DHT is able to find a node *n* responsible for
 //! a given key *k*" (§V-A). [`RingDht`] is exactly that assumption turned
 //! into code — node placement identical to Chord (`successor(key)` on the
-//! identifier circle) but resolved with one binary search instead of routed
-//! hops. It is the substrate used for the 500-node × 50 000-query
-//! simulations; the [`Chord`](crate::chord) substrate exists to show the
-//! indexing layer really does run over the full protocol (see the
-//! substrate-independence ablation bench).
+//! identifier circle) but resolved with one ordered-map successor lookup
+//! (`BTreeMap::range`, O(log n)) instead of routed hops. It is the
+//! substrate used for the 500-node × 50 000-query simulations; the
+//! [`Chord`](crate::chord) substrate exists to show the indexing layer
+//! really does run over the full protocol (see the substrate-independence
+//! ablation bench).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
@@ -38,9 +39,10 @@ use crate::storage::NodeStore;
 /// ```
 #[derive(Debug, Default)]
 pub struct RingDht {
-    /// Sorted node positions.
-    order: Vec<Key>,
-    stores: HashMap<Key, NodeStore>,
+    /// Node position → that node's store, ordered around the identifier
+    /// circle. One map serves as both the ring ordering and the storage
+    /// table: `range(key..)` resolves the clockwise successor in O(log n).
+    stores: BTreeMap<Key, NodeStore>,
     // Atomic so the shared-reference read path (`get`) can account its
     // request/response pair like every other substrate does.
     lookups: AtomicU64,
@@ -50,7 +52,6 @@ pub struct RingDht {
 impl Clone for RingDht {
     fn clone(&self) -> Self {
         RingDht {
-            order: self.order.clone(),
             stores: self.stores.clone(),
             lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
             messages: AtomicU64::new(self.messages.load(Ordering::Relaxed)),
@@ -86,41 +87,35 @@ impl RingDht {
     /// successor, as in a DHT join.
     pub fn add_node(&mut self, id: NodeId) -> bool {
         let key = *id.key();
-        match self.order.binary_search(&key) {
-            Ok(_) => false,
-            Err(pos) => {
-                // Take over (pred, id] from the current owner (our successor).
-                let moved = if self.order.is_empty() {
-                    Vec::new()
-                } else {
-                    let succ = self.order[pos % self.order.len()];
-                    let pred = self.order[(pos + self.order.len() - 1) % self.order.len()];
-                    self.stores
-                        .get_mut(&succ)
-                        .map(|s| s.split_off_interval(&pred, &key))
-                        .unwrap_or_default()
-                };
-                self.order.insert(pos, key);
-                let store = self.stores.entry(key).or_default();
-                for (k, values) in moved {
-                    for v in values {
-                        store.put(k, v);
-                    }
-                }
-                true
+        if self.stores.contains_key(&key) {
+            return false;
+        }
+        // Take over (pred, id] from the current owner (our successor), both
+        // resolved against the ring as it is *before* the join.
+        let moved = match (self.successor(&key), self.predecessor(&key)) {
+            (Some(succ), Some(pred)) => self
+                .stores
+                .get_mut(&succ)
+                .map(|s| s.split_off_interval(&pred, &key))
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        };
+        let store = self.stores.entry(key).or_default();
+        for (k, values) in moved {
+            for v in values {
+                store.put(k, v);
             }
         }
+        true
     }
 
     /// Removes a node, handing its keys to its successor. Returns `false`
     /// if the node was not present.
     pub fn remove_node(&mut self, id: NodeId) -> bool {
         let key = *id.key();
-        let Ok(pos) = self.order.binary_search(&key) else {
+        let Some(store) = self.stores.remove(&key) else {
             return false;
         };
-        self.order.remove(pos);
-        let store = self.stores.remove(&key).unwrap_or_default();
         if let Some(succ) = self.owner(&key) {
             let succ_store = self.stores.entry(*succ.key()).or_default();
             for (k, values) in store.iter() {
@@ -132,17 +127,30 @@ impl RingDht {
         true
     }
 
-    /// The node responsible for `key`, without touching the counters.
+    /// The first node clockwise at or after `key` (wrapping to the lowest
+    /// position), or `None` on an empty ring.
+    fn successor(&self, key: &Key) -> Option<Key> {
+        self.stores
+            .range(*key..)
+            .next()
+            .or_else(|| self.stores.iter().next())
+            .map(|(k, _)| *k)
+    }
+
+    /// The first node strictly before `key` (wrapping to the highest
+    /// position), or `None` on an empty ring.
+    fn predecessor(&self, key: &Key) -> Option<Key> {
+        self.stores
+            .range(..*key)
+            .next_back()
+            .or_else(|| self.stores.iter().next_back())
+            .map(|(k, _)| *k)
+    }
+
+    /// The node responsible for `key`, without touching the counters:
+    /// an O(log n) `BTreeMap::range` successor lookup.
     pub fn owner(&self, key: &Key) -> Option<NodeId> {
-        if self.order.is_empty() {
-            return None;
-        }
-        let owner = match self.order.binary_search(key) {
-            Ok(i) => self.order[i],
-            Err(i) if i == self.order.len() => self.order[0],
-            Err(i) => self.order[i],
-        };
-        Some(NodeId::from_key(owner))
+        self.successor(key).map(NodeId::from_key)
     }
 
     /// Read-only view of one node's store.
@@ -153,12 +161,9 @@ impl RingDht {
     /// Per-node `(id, key_count, value_bytes)` in ring order — the input to
     /// the storage-distribution experiments.
     pub fn storage_distribution(&self) -> Vec<(NodeId, usize, usize)> {
-        self.order
+        self.stores
             .iter()
-            .map(|id| {
-                let s = &self.stores[id];
-                (NodeId::from_key(*id), s.key_count(), s.value_bytes())
-            })
+            .map(|(id, s)| (NodeId::from_key(*id), s.key_count(), s.value_bytes()))
             .collect()
     }
 
@@ -175,7 +180,7 @@ impl RingDht {
 
 impl Dht for RingDht {
     fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
-        if self.order.is_empty() {
+        if self.stores.is_empty() {
             return Err(DhtError::NoLiveNodes);
         }
         match op {
@@ -213,7 +218,7 @@ impl Dht for RingDht {
     }
 
     fn nodes(&self) -> Vec<NodeId> {
-        self.order.iter().copied().map(NodeId::from_key).collect()
+        self.stores.keys().copied().map(NodeId::from_key).collect()
     }
 
     fn get(&self, key: &Key) -> Vec<Bytes> {
@@ -236,7 +241,7 @@ impl Dht for RingDht {
     }
 
     fn len(&self) -> usize {
-        self.order.len()
+        self.stores.len()
     }
 }
 

@@ -2,26 +2,38 @@
 //!
 //! ```text
 //! repro <exhibit> [--small] [--nodes N] [--articles N] [--queries N]
-//!                 [--seed N] [--csv DIR]
+//!                 [--seed N] [--csv DIR] [--jobs N]
 //!
 //! exhibits: fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1 storage
-//!           ext-structures ext-churn robustness all
+//!           ext-structures ext-churn robustness bench all
 //! ```
 //!
 //! Default scale is the paper's (500 nodes, 10 000 articles, 50 000
 //! queries); `--small` runs a fast scaled-down version with the same
 //! qualitative shapes.
+//!
+//! `--jobs N` runs independent simulation cells on up to `N` worker
+//! threads (`0` = all cores, default `1`). Cell seeds are fixed per cell,
+//! so the emitted tables and CSVs are byte-identical at any job count.
+//!
+//! `bench` times one fixed cell and the full figure grid (serial, then
+//! parallel) and writes `BENCH_results.json` next to the CSVs.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
+use p2p_index_core::CachePolicy;
+use p2p_index_sim::exec::resolve_jobs;
 use p2p_index_sim::experiments::{self, EvalConfig, Evaluation};
+use p2p_index_sim::simulation::{SchemeChoice, Simulation};
 use p2p_index_sim::table::TextTable;
 
 struct Args {
     exhibit: String,
     config: EvalConfig,
     csv_dir: Option<PathBuf>,
+    jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
     let exhibit = args.next().ok_or_else(usage)?;
     let mut config = EvalConfig::paper();
     let mut csv_dir = None;
+    let mut jobs = 1usize;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--small" => config = EvalConfig::small(),
@@ -37,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
             "--queries" => config.queries = parse_num(args.next(), "--queries")?,
             "--seed" => config.seed = parse_num(args.next(), "--seed")? as u64,
             "--csv" => csv_dir = Some(PathBuf::from(args.next().ok_or("--csv needs a directory")?)),
+            "--jobs" => jobs = resolve_jobs(parse_num(args.next(), "--jobs")?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -44,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         exhibit,
         config,
         csv_dir,
+        jobs,
     })
 }
 
@@ -55,8 +70,8 @@ fn parse_num(value: Option<String>, flag: &str) -> Result<usize, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig7|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|storage|ext-structures|ext-churn|robustness|all> \
-     [--small] [--nodes N] [--articles N] [--queries N] [--seed N] [--csv DIR]"
+    "usage: repro <fig7|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|storage|ext-structures|ext-churn|robustness|bench|all> \
+     [--small] [--nodes N] [--articles N] [--queries N] [--seed N] [--csv DIR] [--jobs N]"
         .to_string()
 }
 
@@ -76,6 +91,62 @@ fn emit(table: &TextTable, csv_dir: &Option<PathBuf>, name: &str) {
     }
 }
 
+/// The `bench` sub-command: time one fixed cell and the full figure grid
+/// (serial vs parallel), print the numbers, and record them in
+/// `BENCH_results.json`.
+fn bench(cfg: &EvalConfig, jobs: usize, csv_dir: &Option<PathBuf>) {
+    // A fixed reference cell: simple scheme, single-cache policy.
+    let started = Instant::now();
+    let metrics = Simulation::run(cfg.sim(SchemeChoice::Simple, CachePolicy::Single));
+    let cell_secs = started.elapsed().as_secs_f64();
+    let queries_per_sec = cfg.queries as f64 / cell_secs.max(1e-9);
+    eprintln!(
+        "# cell simple/single-cache: {cell_secs:.3} s, {queries_per_sec:.0} queries/s \
+         ({:.2} interactions/query)",
+        metrics.mean_interactions()
+    );
+
+    // The full scheme × policy grid, serial then parallel (fresh
+    // evaluations, so both runs do all the work).
+    let grid = experiments::paper_grid();
+    let started = Instant::now();
+    Evaluation::new(*cfg).run_cells(&grid, 1);
+    let serial_secs = started.elapsed().as_secs_f64();
+    let par_jobs = if jobs > 1 { jobs } else { resolve_jobs(0) };
+    let started = Instant::now();
+    Evaluation::new(*cfg).run_cells(&grid, par_jobs);
+    let parallel_secs = started.elapsed().as_secs_f64();
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    eprintln!(
+        "# grid ({} cells): serial {serial_secs:.3} s, --jobs {par_jobs} {parallel_secs:.3} s, \
+         speedup {speedup:.2}x",
+        grid.len()
+    );
+
+    let json = format!(
+        "{{\n  \"config\": {{ \"nodes\": {}, \"articles\": {}, \"queries\": {}, \"seed\": {} }},\n  \
+           \"cell\": {{ \"scheme\": \"simple\", \"policy\": \"single-cache\", \
+                        \"wall_clock_s\": {cell_secs:.6}, \"queries_per_sec\": {queries_per_sec:.1} }},\n  \
+           \"grid\": {{ \"cells\": {}, \"serial_s\": {serial_secs:.6}, \"jobs\": {par_jobs}, \
+                        \"parallel_s\": {parallel_secs:.6}, \"speedup\": {speedup:.3} }}\n}}\n",
+        cfg.nodes,
+        cfg.articles,
+        cfg.queries,
+        cfg.seed,
+        grid.len(),
+    );
+    let dir = csv_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("BENCH_results.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -85,14 +156,18 @@ fn main() -> ExitCode {
         }
     };
     let cfg = args.config;
+    let jobs = args.jobs;
     eprintln!(
-        "# scale: {} nodes, {} articles, {} queries (seed {})",
-        cfg.nodes, cfg.articles, cfg.queries, cfg.seed
+        "# scale: {} nodes, {} articles, {} queries (seed {}, {} jobs)",
+        cfg.nodes, cfg.articles, cfg.queries, cfg.seed, jobs
     );
     let mut eval = Evaluation::new(cfg);
     let csv = &args.csv_dir;
 
     let run = |name: &str, eval: &mut Evaluation| -> bool {
+        // Pre-run the cells this exhibit needs across the worker pool; the
+        // renderer below then recalls memoized results in canonical order.
+        eval.run_cells(&experiments::grid_cells_for(name), jobs);
         match name {
             "fig7" => emit(&experiments::fig7_query_mix(), csv, "fig7"),
             "fig9" => emit(&experiments::fig9_popularity(), csv, "fig9"),
@@ -113,13 +188,22 @@ fn main() -> ExitCode {
             // Deliberately not part of "all": the loss × budget sweep
             // re-publishes the corpus per cell, and "all" stays the exact
             // paper reproduction (faults are an extension).
-            "robustness" => emit(&experiments::ext_robustness(&cfg), csv, "ext_robustness"),
+            "robustness" => emit(
+                &experiments::ext_robustness(&cfg, jobs),
+                csv,
+                "ext_robustness",
+            ),
+            "bench" => bench(&cfg, jobs, csv),
             _ => return false,
         }
         true
     };
 
     if args.exhibit == "all" {
+        // Pre-run the whole scheme × policy grid across the worker pool;
+        // the per-figure renderers below then recall memoized cells, so
+        // their output is byte-identical to a serial run.
+        eval.run_cells(&experiments::paper_grid(), jobs);
         for name in [
             "fig7",
             "fig9",

@@ -1,0 +1,135 @@
+//! A minimal work-queue executor for embarrassingly-parallel experiment
+//! grids.
+//!
+//! The evaluation's scheme × policy cells (and the robustness sweep's
+//! loss × budget cells) are independent simulations: each is a pure
+//! function of its own config and seeds. [`parallel_map`] fans such cells
+//! out over scoped worker threads (`std::thread::scope`, no dependencies)
+//! and reassembles the results **in input order**, so any output rendered
+//! from them — notably the paper CSVs — is byte-identical to a serial run.
+//!
+//! Scheduling is a shared atomic cursor over the item slice: workers pull
+//! the next un-started index until the queue drains. Panics inside a
+//! worker are propagated to the caller after all threads have joined.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Applies `f` to every item, running up to `jobs` items concurrently, and
+/// returns the results in the order of `items`.
+///
+/// `jobs <= 1` runs strictly serially on the calling thread (no threads
+/// are spawned), which is also the fallback for empty input. The mapping
+/// must be a pure function of the item for the parallel and serial
+/// schedules to agree — which is exactly the determinism contract the
+/// experiment grids rely on.
+///
+/// # Panics
+///
+/// Re-raises the first panic observed in a worker once every worker has
+/// finished.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = jobs.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let panicked = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else {
+                        return;
+                    };
+                    let r = f(item);
+                    results.lock().expect("result sink poisoned").push((i, r));
+                })
+            })
+            .collect();
+        let mut panicked = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                panicked.get_or_insert(p);
+            }
+        }
+        panicked
+    });
+    if let Some(p) = panicked {
+        panic::resume_unwind(p);
+    }
+    let mut results = results.into_inner().expect("result sink poisoned");
+    results.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(results.len(), items.len());
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The number of worker threads a `--jobs` value selects: `0` means "use
+/// every available core", anything else is taken literally.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        for jobs in [1, 2, 4, 9] {
+            let out = parallel_map(&items, jobs, |&i| i * 3);
+            assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..40).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+        assert_eq!(parallel_map(&items, 1, f), parallel_map(&items, 4, f));
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let items = [1u32, 2, 3];
+        assert_eq!(parallel_map(&items, 100, |&x| x * x), vec![1, 4, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        parallel_map(&items, 3, |&i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn resolve_jobs_maps_zero_to_cores() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+    }
+}

@@ -70,7 +70,8 @@ impl EvalConfig {
         }
     }
 
-    fn sim(&self, scheme: SchemeChoice, policy: CachePolicy) -> SimConfig {
+    /// The full simulation config for one grid cell.
+    pub fn sim(&self, scheme: SchemeChoice, policy: CachePolicy) -> SimConfig {
         SimConfig {
             nodes: self.nodes,
             articles: self.articles,
@@ -112,9 +113,75 @@ impl Evaluation {
             .or_insert_with(|| Simulation::run(base.sim(scheme, policy)))
     }
 
+    /// Runs a batch of grid cells, up to `jobs` concurrently, and memoizes
+    /// the results.
+    ///
+    /// Duplicate requests and cells that already ran are skipped; the
+    /// remaining cells fan out over the [work-queue executor](crate::exec).
+    /// Every cell is a pure function of `(config, scheme, policy)` — the
+    /// same per-cell seeds a serial [`cell`](Self::cell) call would use —
+    /// so tables rendered afterwards are byte-identical to a serial run.
+    pub fn run_cells(&mut self, cells: &[(SchemeChoice, CachePolicy)], jobs: usize) {
+        let mut pending: Vec<(SchemeChoice, CachePolicy)> = Vec::new();
+        for &cell in cells {
+            if !self.cells.contains_key(&cell) && !pending.contains(&cell) {
+                pending.push(cell);
+            }
+        }
+        let base = self.base;
+        let metrics = crate::exec::parallel_map(&pending, jobs, |&(scheme, policy)| {
+            Simulation::run(base.sim(scheme, policy))
+        });
+        for (cell, m) in pending.into_iter().zip(metrics) {
+            self.cells.insert(cell, m);
+        }
+    }
+
     /// Number of cells simulated so far.
     pub fn cells_run(&self) -> usize {
         self.cells.len()
+    }
+}
+
+/// Every cell of the paper's scheme × policy grid: the union of what the
+/// grid exhibits (Figs. 11-15, Table I, the structure breakdown) consult.
+/// Pre-running these via [`Evaluation::run_cells`] makes rendering the
+/// exhibits a pure table-formatting pass.
+pub fn paper_grid() -> Vec<(SchemeChoice, CachePolicy)> {
+    let mut cells = Vec::new();
+    for policy in FIG12_POLICIES {
+        for scheme in SchemeChoice::PAPER {
+            cells.push((scheme, policy));
+        }
+    }
+    cells
+}
+
+/// The grid cells one exhibit consults — what a driver should pre-run (in
+/// parallel) before rendering it. Empty for exhibits that don't touch the
+/// simulation grid.
+pub fn grid_cells_for(exhibit: &str) -> Vec<(SchemeChoice, CachePolicy)> {
+    let all_schemes = |policies: &[CachePolicy]| {
+        policies
+            .iter()
+            .flat_map(|&p| SchemeChoice::PAPER.into_iter().map(move |s| (s, p)))
+            .collect()
+    };
+    match exhibit {
+        "fig11" => all_schemes(&FIG11_POLICIES),
+        "fig12" => all_schemes(&FIG12_POLICIES),
+        "fig13" | "fig14" => all_schemes(&FIG13_POLICIES),
+        "table1" => all_schemes(&TABLE1_POLICIES),
+        // Simple-scheme-only exhibits.
+        "fig15" => TABLE1_POLICIES
+            .iter()
+            .map(|&p| (SchemeChoice::Simple, p))
+            .collect(),
+        "ext-structures" => vec![
+            (SchemeChoice::Simple, CachePolicy::None),
+            (SchemeChoice::Simple, CachePolicy::Single),
+        ],
+        _ => Vec::new(),
     }
 }
 
@@ -514,7 +581,7 @@ pub fn ext_churn(base: &EvalConfig) -> TextTable {
 /// `(1 − loss)ᵏ` in the number of sub-lookups `k`; a budget of 3 drives
 /// the per-operation abandonment rate to `loss³` and holds end-to-end
 /// success above 99 % even at 10 % loss.
-pub fn ext_robustness(base: &EvalConfig) -> TextTable {
+pub fn ext_robustness(base: &EvalConfig, jobs: usize) -> TextTable {
     use p2p_index_core::{IndexService, RetryPolicy, SimpleScheme};
     use p2p_index_dht::{FaultConfig, FaultyDht, RingDht};
     use p2p_index_workload::{Corpus, CorpusConfig, QueryGenerator};
@@ -527,8 +594,69 @@ pub fn ext_robustness(base: &EvalConfig) -> TextTable {
     });
     let loss_rates = [0.0, 0.05, 0.10, 0.20];
     let budgets = [1u32, 2, 3];
-    let cells = loss_rates.len() * budgets.len();
-    let queries_per_cell = (base.queries / cells).max(50);
+    let mut cells: Vec<(u64, f64, u32)> = Vec::new();
+    for (li, &loss) in loss_rates.iter().enumerate() {
+        for (bi, &budget) in budgets.iter().enumerate() {
+            // Distinct deterministic seeds per cell, derived from the run seed.
+            let cell_seed = base.seed ^ ((li as u64 + 1) * 1009 + bi as u64 * 101);
+            cells.push((cell_seed, loss, budget));
+        }
+    }
+    let queries_per_cell = (base.queries / cells.len()).max(50);
+
+    // Every cell is an isolated service + deterministic seeds, sharing only
+    // the read-only corpus, so cells fan out over the executor and the rows
+    // — emitted in canonical sweep order — match a serial run byte for byte.
+    let rows = crate::exec::parallel_map(&cells, jobs, |&(cell_seed, loss, budget)| {
+        let dht = FaultyDht::transparent(RingDht::with_named_nodes(base.nodes));
+        let mut service = IndexService::with_retry(
+            dht,
+            CachePolicy::None,
+            RetryPolicy::with_budget(cell_seed, budget),
+        );
+        for a in corpus.articles() {
+            service
+                .publish(&a.descriptor(), a.file_name(), &SimpleScheme)
+                .expect("publishing happens before faults are enabled");
+        }
+        service
+            .dht_mut()
+            .set_fault_config(FaultConfig::lossy(cell_seed, loss));
+
+        // Same per-cell query stream, so cells differ only in faults.
+        let mut generator =
+            QueryGenerator::new(&corpus, StructureMix::paper_simulation(), base.seed);
+        let mut successes = 0u64;
+        let mut partial = 0u64;
+        let mut retries = 0u64;
+        let mut abandoned = 0u64;
+        let mut backoff_ms = 0u64;
+        for _ in 0..queries_per_cell {
+            let item = generator.next_query();
+            let article = corpus.article(item.target).expect("valid target");
+            let report = service
+                .search(&item.query)
+                .expect("faults degrade results, they do not abort");
+            if report.files.iter().any(|h| h.file == article.file_name()) {
+                successes += 1;
+            }
+            partial += report.is_partial() as u64;
+            retries += report.completeness.retries;
+            abandoned += u64::from(report.completeness.abandoned);
+            backoff_ms += report.completeness.backoff_ms;
+        }
+        let n = queries_per_cell as f64;
+        [
+            fmt_f(loss, 2),
+            budget.to_string(),
+            queries_per_cell.to_string(),
+            fmt_f(successes as f64 / n, 4),
+            fmt_f(partial as f64 / n, 4),
+            fmt_f(retries as f64 / n, 2),
+            fmt_f(abandoned as f64 / n, 3),
+            fmt_f(backoff_ms as f64 / n, 1),
+        ]
+    });
 
     let mut t = TextTable::new("Extension — Search robustness: message loss × retry budget");
     t.header([
@@ -541,60 +669,8 @@ pub fn ext_robustness(base: &EvalConfig) -> TextTable {
         "abandoned/query",
         "backoff_ms/query",
     ]);
-
-    for (li, &loss) in loss_rates.iter().enumerate() {
-        for (bi, &budget) in budgets.iter().enumerate() {
-            // Distinct deterministic seeds per cell, derived from the run seed.
-            let cell_seed = base.seed ^ ((li as u64 + 1) * 1009 + bi as u64 * 101);
-            let dht = FaultyDht::transparent(RingDht::with_named_nodes(base.nodes));
-            let mut service = IndexService::with_retry(
-                dht,
-                CachePolicy::None,
-                RetryPolicy::with_budget(cell_seed, budget),
-            );
-            for a in corpus.articles() {
-                service
-                    .publish(&a.descriptor(), a.file_name(), &SimpleScheme)
-                    .expect("publishing happens before faults are enabled");
-            }
-            service
-                .dht_mut()
-                .set_fault_config(FaultConfig::lossy(cell_seed, loss));
-
-            // Same per-cell query stream, so cells differ only in faults.
-            let mut generator =
-                QueryGenerator::new(&corpus, StructureMix::paper_simulation(), base.seed);
-            let mut successes = 0u64;
-            let mut partial = 0u64;
-            let mut retries = 0u64;
-            let mut abandoned = 0u64;
-            let mut backoff_ms = 0u64;
-            for _ in 0..queries_per_cell {
-                let item = generator.next_query();
-                let article = corpus.article(item.target).expect("valid target");
-                let report = service
-                    .search(&item.query)
-                    .expect("faults degrade results, they do not abort");
-                if report.files.iter().any(|h| h.file == article.file_name()) {
-                    successes += 1;
-                }
-                partial += report.is_partial() as u64;
-                retries += report.completeness.retries;
-                abandoned += u64::from(report.completeness.abandoned);
-                backoff_ms += report.completeness.backoff_ms;
-            }
-            let n = queries_per_cell as f64;
-            t.row([
-                fmt_f(loss, 2),
-                budget.to_string(),
-                queries_per_cell.to_string(),
-                fmt_f(successes as f64 / n, 4),
-                fmt_f(partial as f64 / n, 4),
-                fmt_f(retries as f64 / n, 2),
-                fmt_f(abandoned as f64 / n, 3),
-                fmt_f(backoff_ms as f64 / n, 1),
-            ]);
-        }
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -680,6 +756,44 @@ mod tests {
         let b = e.cell(SchemeChoice::Simple, CachePolicy::None).interactions;
         assert_eq!(a, b);
         assert_eq!(e.cells_run(), 1);
+    }
+
+    #[test]
+    fn run_cells_dedupes_and_matches_serial_cells() {
+        let cells = [
+            (SchemeChoice::Simple, CachePolicy::None),
+            (SchemeChoice::Flat, CachePolicy::Single),
+            (SchemeChoice::Simple, CachePolicy::None), // duplicate request
+        ];
+        let mut par = eval();
+        par.run_cells(&cells, 4);
+        assert_eq!(par.cells_run(), 2, "duplicates collapse to one run");
+        let mut ser = eval();
+        for &(scheme, policy) in &cells {
+            assert_eq!(
+                par.cell(scheme, policy),
+                ser.cell(scheme, policy),
+                "parallel {scheme:?}/{policy} must equal serial"
+            );
+        }
+        // Already-memoized cells are not re-run.
+        par.run_cells(&cells, 4);
+        assert_eq!(par.cells_run(), 2);
+    }
+
+    #[test]
+    fn paper_grid_covers_every_exhibit_policy() {
+        let grid = paper_grid();
+        assert_eq!(grid.len(), 18, "6 policies × 3 schemes");
+        for policy in FIG11_POLICIES
+            .iter()
+            .chain(&FIG13_POLICIES)
+            .chain(&TABLE1_POLICIES)
+        {
+            for scheme in SchemeChoice::PAPER {
+                assert!(grid.contains(&(scheme, *policy)), "{scheme:?}/{policy}");
+            }
+        }
     }
 
     #[test]
@@ -836,7 +950,7 @@ mod tests {
             queries: 9_600, // 800 queries per sweep cell
             seed: 42,
         };
-        let t = ext_robustness(&base);
+        let t = ext_robustness(&base, 2);
         assert_eq!(t.len(), 12, "4 loss rates × 3 budgets");
         let csv = t.to_csv();
         let mut saw_partial_cell = false;

@@ -10,6 +10,9 @@
 //! * [`experiments`] — one runner per exhibit (Figs. 7, 9-15, Table I,
 //!   §V-B storage), sharing a lazily-run simulation grid
 //!   ([`experiments::Evaluation`]);
+//! * [`exec`] — the work-queue executor that runs independent grid cells
+//!   across cores while keeping every rendered table byte-identical to a
+//!   serial run;
 //! * [`table`] — text/CSV rendering.
 //!
 //! The `repro` binary drives everything:
@@ -22,9 +25,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod exec;
 pub mod experiments;
 pub mod simulation;
 pub mod table;
 
+pub use exec::{parallel_map, resolve_jobs};
 pub use experiments::{EvalConfig, Evaluation};
 pub use simulation::{Metrics, QueryOutcome, SchemeChoice, SimConfig, Simulation};

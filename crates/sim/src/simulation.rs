@@ -125,7 +125,7 @@ impl SimConfig {
 
 /// Everything measured during one run; the raw material of Figs. 11-15 and
 /// Table I.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Scheme label.
     pub scheme: String,

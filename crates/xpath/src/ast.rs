@@ -13,7 +13,10 @@
 //! [`Query`] wraps a normalized root pattern; its `Display` output *is* the
 //! canonical text, so `Key::hash_of(&query.to_string())` is well-defined.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -288,6 +291,14 @@ pub(crate) fn needs_quoting(token: &str) -> bool {
 /// the same canonical representation, so equal queries are `==` and print
 /// identically.
 ///
+/// The canonical text — and therefore the DHT key `h(q)` — of a query is
+/// needed on every lookup, so it is rendered **once** at construction and
+/// memoized: `Display`, [`canonical_text`](Query::canonical_text),
+/// equality, hashing, and ordering all reuse the cached string instead of
+/// re-walking the pattern tree. Both the tree and the cached text sit
+/// behind `Arc`s, making `Query::clone` two reference-count bumps — cheap
+/// enough for the simulator's per-interaction cloning.
+///
 /// # Examples
 ///
 /// ```
@@ -300,16 +311,83 @@ pub(crate) fn needs_quoting(token: &str) -> bool {
 /// assert_eq!(a.to_string(), b.to_string());
 /// # Ok::<(), p2p_index_xpath::ParseQueryError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "QueryRepr", into = "QueryRepr")]
 pub struct Query {
-    pub(crate) root: Pattern,
+    pub(crate) root: Arc<Pattern>,
+    /// Canonical rendering of `root`, computed once at construction.
+    canon: Arc<str>,
+}
+
+/// Serde shape of a [`Query`]: just the root pattern, exactly the layout
+/// the type had before the canonical text was memoized. Deserialization
+/// re-normalizes and re-renders, so the cache can never go stale.
+#[derive(Serialize, Deserialize)]
+#[serde(rename = "Query")]
+struct QueryRepr {
+    root: Pattern,
+}
+
+impl From<QueryRepr> for Query {
+    fn from(repr: QueryRepr) -> Query {
+        Query::from_root(repr.root)
+    }
+}
+
+impl From<Query> for QueryRepr {
+    fn from(query: Query) -> QueryRepr {
+        QueryRepr {
+            root: (*query.root).clone(),
+        }
+    }
+}
+
+/// The normalized canonical rendering is injective (guaranteed by the
+/// parse-roundtrip property tests), so the cached text is a faithful
+/// proxy for the whole tree: comparing/hashing it gives exactly the
+/// tree-equality semantics, without traversals or allocations.
+impl PartialEq for Query {
+    fn eq(&self, other: &Query) -> bool {
+        Arc::ptr_eq(&self.canon, &other.canon) || self.canon == other.canon
+    }
+}
+
+impl Eq for Query {}
+
+impl Hash for Query {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.canon.hash(state);
+    }
+}
+
+impl PartialOrd for Query {
+    fn partial_cmp(&self, other: &Query) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Query {
+    fn cmp(&self, other: &Query) -> Ordering {
+        self.canon.cmp(&other.canon)
+    }
 }
 
 impl Query {
-    /// Wraps and normalizes a root pattern.
+    /// Wraps and normalizes a root pattern, rendering the canonical text
+    /// exactly once.
     pub(crate) fn from_root(mut root: Pattern) -> Query {
         root.normalize();
-        Query { root }
+        struct Canon<'a>(&'a Pattern);
+        impl fmt::Display for Canon<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.write(f, false)
+            }
+        }
+        let canon: Arc<str> = Canon(&root).to_string().into();
+        Query {
+            root: Arc::new(root),
+            canon,
+        }
     }
 
     /// The root pattern node.
@@ -337,9 +415,11 @@ impl Query {
     }
 
     /// The canonical text; equal to `self.to_string()` and suitable as the
-    /// hash input `h(q)`.
-    pub fn canonical_text(&self) -> String {
-        self.to_string()
+    /// hash input `h(q)`. Memoized at construction — this is a borrow, not
+    /// a render, so hot paths can read lengths and hash inputs without
+    /// allocating.
+    pub fn canonical_text(&self) -> &str {
+        &self.canon
     }
 
     /// The top-level branches (children of the root).
@@ -357,7 +437,7 @@ impl Query {
         if index >= self.root.children.len() {
             return None;
         }
-        let mut root = self.root.clone();
+        let mut root = (*self.root).clone();
         root.children.remove(index);
         Some(Query::from_root(root))
     }
@@ -398,7 +478,7 @@ impl Query {
     where
         F: FnMut(&[&str], &str) -> Option<String>,
     {
-        let mut root = self.root.clone();
+        let mut root = (*self.root).clone();
         let mut path: Vec<String> = Vec::new();
         map_values_in(&mut root, &mut path, &mut f);
         Query::from_root(root)
@@ -443,7 +523,7 @@ where
 
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.root.write(f, false)
+        f.write_str(&self.canon)
     }
 }
 

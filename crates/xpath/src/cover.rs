@@ -49,11 +49,11 @@ impl Query {
     /// # Ok::<(), p2p_index_xpath::ParseQueryError>(())
     /// ```
     pub fn covers(&self, other: &Query) -> bool {
-        match self.root.axis {
-            Axis::Child => other.root.axis == Axis::Child && contains(&self.root, &other.root),
-            Axis::Descendant => std::iter::once(&other.root)
-                .chain(other.root.descendants())
-                .any(|n| contains(&self.root, n)),
+        match self.root().axis {
+            Axis::Child => other.root().axis == Axis::Child && contains(self.root(), other.root()),
+            Axis::Descendant => std::iter::once(other.root())
+                .chain(other.root().descendants())
+                .any(|n| contains(self.root(), n)),
         }
     }
 
