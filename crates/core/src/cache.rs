@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use p2p_index_dht::Key;
+use p2p_index_obs::MetricsRegistry;
 
 use crate::target::IndexTarget;
 
@@ -87,6 +88,7 @@ pub struct ShortcutCache {
     slots: HashMap<Key, Slot>,
     capacity: Option<usize>,
     clock: u64,
+    metrics: MetricsRegistry,
 }
 
 impl ShortcutCache {
@@ -111,6 +113,18 @@ impl ShortcutCache {
         }
     }
 
+    /// Attaches a metrics registry recording the `cache.*` series
+    /// (hits, misses, inserts, evictions, purges).
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
+    }
+
+    /// Builder-style [`set_metrics`](Self::set_metrics).
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// Inserts a shortcut `h(query) → target`, *replacing* any previous
     /// shortcut under the same key.
     ///
@@ -129,9 +143,11 @@ impl ShortcutCache {
         if let Some(slot) = self.slots.get_mut(&key) {
             slot.last_used = self.clock;
             if slot.targets.first() == Some(&target) {
+                self.metrics.incr("cache.insert.unchanged");
                 return false;
             }
             slot.targets = vec![target];
+            self.metrics.incr("cache.insert.replaced");
             return true;
         }
         if let Some(cap) = self.capacity {
@@ -143,6 +159,7 @@ impl ShortcutCache {
                     .map(|(k, _)| *k)
                     .expect("cache is non-empty");
                 self.slots.remove(&evict);
+                self.metrics.incr("cache.evictions");
             }
         }
         self.slots.insert(
@@ -152,6 +169,7 @@ impl ShortcutCache {
                 last_used: self.clock,
             },
         );
+        self.metrics.incr("cache.insert.created");
         true
     }
 
@@ -160,10 +178,16 @@ impl ShortcutCache {
     pub fn get(&mut self, key: &Key) -> Option<&[IndexTarget]> {
         self.clock += 1;
         let clock = self.clock;
-        self.slots.get_mut(key).map(|slot| {
+        let hit = self.slots.get_mut(key).map(|slot| {
             slot.last_used = clock;
             slot.targets.as_slice()
-        })
+        });
+        self.metrics.incr(if hit.is_some() {
+            "cache.get.hit"
+        } else {
+            "cache.get.miss"
+        });
+        hit
     }
 
     /// Looks up without touching recency (for inspection).
@@ -199,10 +223,13 @@ impl ShortcutCache {
     /// Removes `target` from every slot, dropping slots that become empty.
     /// Used to purge shortcuts that dangle after a file is unpublished.
     pub fn purge_target(&mut self, target: &IndexTarget) {
+        let before = self.slots.len();
         self.slots.retain(|_, slot| {
             slot.targets.retain(|t| t != target);
             !slot.targets.is_empty()
         });
+        self.metrics
+            .add("cache.purged_slots", (before - self.slots.len()) as u64);
     }
 }
 

@@ -22,6 +22,7 @@ use std::error::Error;
 use std::fmt;
 
 use p2p_index_dht::{Dht, DhtError, DhtOp, DhtResponse, Key, NodeId, SplitMix64};
+use p2p_index_obs::{MetricsRegistry, Trace, TraceRecorder};
 use p2p_index_xmldoc::Descriptor;
 use p2p_index_xpath::Query;
 
@@ -216,6 +217,10 @@ pub struct IndexService<D> {
     /// most once per service lifetime; steady-state lookups only pay a
     /// `HashMap` probe on the query's memoized canonical text.
     key_cache: HashMap<Query, Key>,
+    /// Observability sink (disabled by default; see [`set_metrics`](Self::set_metrics)).
+    metrics: MetricsRegistry,
+    /// Active lookup trace, if [`start_trace`](Self::start_trace) is pending.
+    tracer: Option<TraceRecorder>,
 }
 
 impl<D: Dht> IndexService<D> {
@@ -238,7 +243,45 @@ impl<D: Dht> IndexService<D> {
             retry_stats: RetryStats::default(),
             sim_clock_ms: 0,
             key_cache: HashMap::new(),
+            metrics: MetricsRegistry::default(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a metrics registry to the whole stack: the service itself
+    /// (`index.*`, `retry.*` series), every existing and future shortcut
+    /// cache (`cache.*`), and the DHT substrate (`dht.*`, via
+    /// [`Dht::set_metrics`]). Pass [`MetricsRegistry::disabled`] to turn
+    /// recording back off.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics.clone();
+        self.dht.set_metrics(metrics.clone());
+        for cache in self.caches.values_mut() {
+            cache.set_metrics(metrics.clone());
+        }
+    }
+
+    /// The attached metrics registry (disabled unless
+    /// [`set_metrics`](Self::set_metrics) was called).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Starts recording a trace; every subsequent search/lookup adds spans
+    /// until [`finish_trace`](Self::finish_trace) collects the tree.
+    pub fn start_trace(&mut self, label: impl Into<String>) {
+        self.tracer = Some(TraceRecorder::new(label));
+    }
+
+    /// Stops recording and returns the trace tree (`None` if
+    /// [`start_trace`](Self::start_trace) was never called).
+    pub fn finish_trace(&mut self) -> Option<Trace> {
+        self.tracer.take().map(TraceRecorder::finish)
+    }
+
+    /// `true` while a trace recording is active.
+    pub fn is_tracing(&self) -> bool {
+        self.tracer.is_some()
     }
 
     /// Replaces the retry policy and reseeds its jitter RNG.
@@ -268,20 +311,35 @@ impl<D: Dht> IndexService<D> {
     /// while the attempt budget lasts; structural faults and exhausted
     /// budgets surface as errors.
     fn dht_execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        let kind = op.kind();
         let mut attempt = 1u32;
         loop {
             self.retry_stats.attempts += 1;
-            match self.dht.execute(op.clone()) {
+            self.metrics.incr("retry.attempts");
+            let result = self.dht.execute(op.clone());
+            if let Some(t) = &mut self.tracer {
+                match &result {
+                    Ok(resp) => t.event(format!("dht {kind} -> {}", describe_response(resp))),
+                    Err(e) => t.event(format!("dht {kind} attempt {attempt} -> {e}")),
+                }
+            }
+            match result {
                 Ok(resp) => return Ok(resp),
                 Err(e) if e.is_transient() && attempt < self.retry.max_attempts => {
                     let delay = self.retry.backoff_ms(attempt, &mut self.retry_rng);
                     self.sim_clock_ms += delay;
                     self.retry_stats.backoff_ms += delay;
                     self.retry_stats.retries += 1;
+                    self.metrics.incr("retry.retries");
+                    self.metrics.add("retry.backoff_ms", delay);
+                    if let Some(t) = &mut self.tracer {
+                        t.event(format!("backoff {delay}ms, retrying"));
+                    }
                     attempt += 1;
                 }
                 Err(e) => {
                     self.retry_stats.gave_up += 1;
+                    self.metrics.incr("retry.gave_up");
                     return Err(e);
                 }
             }
@@ -400,6 +458,7 @@ impl<D: Dht> IndexService<D> {
         for (from, to) in scheme.index_edges(descriptor, &msd) {
             self.insert_mapping(from, to)?;
         }
+        self.metrics.incr("index.publish");
         Ok(msd)
     }
 
@@ -445,19 +504,93 @@ impl<D: Dht> IndexService<D> {
     /// [`IndexError::EmptyNetwork`] without live nodes; [`IndexError::Decode`]
     /// if a stored entry is corrupt.
     pub fn lookup_step(&mut self, query: &Query) -> Result<StepResponse, IndexError> {
+        self.traced_lookup(query, true)
+    }
+
+    /// Like [`lookup_step`](Self::lookup_step), but skips the node's
+    /// shortcut cache and returns the regular index entries — the
+    /// follow-up a user sends when cached shortcuts did not lead to the
+    /// data they were after.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::EmptyNetwork`] without live nodes; [`IndexError::Decode`]
+    /// if a stored entry is corrupt.
+    pub fn lookup_step_bypassing_cache(
+        &mut self,
+        query: &Query,
+    ) -> Result<StepResponse, IndexError> {
+        self.traced_lookup(query, false)
+    }
+
+    /// Wraps one lookup in a trace span (when tracing is active) around
+    /// the shared implementation.
+    fn traced_lookup(
+        &mut self,
+        query: &Query,
+        use_cache: bool,
+    ) -> Result<StepResponse, IndexError> {
+        if self.tracer.is_some() {
+            let label = format!("lookup {query}");
+            if let Some(t) = &mut self.tracer {
+                t.open(label);
+            }
+        }
+        let result = self.lookup_inner(query, use_cache);
+        if let Some(t) = &mut self.tracer {
+            match &result {
+                Ok(resp) => t.event(format!(
+                    "returned {} cached + {} indexed target(s)",
+                    resp.cached.len(),
+                    resp.indexed.len()
+                )),
+                Err(e) => t.event(format!("failed: {e}")),
+            }
+            t.close();
+        }
+        result
+    }
+
+    /// The lookup shared by both public entry points. With `use_cache`
+    /// the serving node answers cache-first (and the probe is counted);
+    /// without it the node's shortcut cache is skipped entirely.
+    fn lookup_inner(&mut self, query: &Query, use_cache: bool) -> Result<StepResponse, IndexError> {
         let key = self.cached_key(query);
         let node = self
             .dht_execute(DhtOp::NodeFor(key))?
             .into_node()
             .ok_or(IndexError::EmptyNetwork)?;
         *self.node_queries.entry(node).or_insert(0) += 1;
+        if let Some(t) = &mut self.tracer {
+            t.event(format!("served by {node}"));
+        }
 
-        let cached: Vec<IndexTarget> = self
-            .caches
-            .get_mut(&node)
-            .and_then(|c| c.get(&key))
-            .map(<[IndexTarget]>::to_vec)
-            .unwrap_or_default();
+        let cached: Vec<IndexTarget> = if use_cache {
+            self.metrics.incr("index.lookups.cached");
+            let hit = self
+                .caches
+                .get_mut(&node)
+                .and_then(|c| c.get(&key))
+                .map(<[IndexTarget]>::to_vec)
+                .unwrap_or_default();
+            // A node that never cached anything still answers the probe:
+            // count it as a miss so hit + miss == cached-mode lookups.
+            if hit.is_empty() {
+                self.metrics.incr("index.cache_probe.miss");
+                if let Some(t) = &mut self.tracer {
+                    t.event("cache probe: miss".to_string());
+                }
+            } else {
+                self.metrics.incr("index.cache_probe.hit");
+                if let Some(t) = &mut self.tracer {
+                    t.event(format!("cache probe: hit ({} shortcut(s))", hit.len()));
+                }
+            }
+            hit
+        } else {
+            self.metrics.incr("index.lookups.bypass");
+            Vec::new()
+        };
 
         let indexed: Vec<IndexTarget> = if cached.is_empty() {
             self.dht_execute(DhtOp::Get(key))?
@@ -480,41 +613,6 @@ impl<D: Dht> IndexService<D> {
         Ok(StepResponse {
             node: Some(node),
             cached,
-            indexed,
-        })
-    }
-
-    /// Like [`lookup_step`](Self::lookup_step), but skips the node's
-    /// shortcut cache and returns the regular index entries — the
-    /// follow-up a user sends when cached shortcuts did not lead to the
-    /// data they were after.
-    ///
-    /// # Errors
-    ///
-    /// [`IndexError::EmptyNetwork`] without live nodes; [`IndexError::Decode`]
-    /// if a stored entry is corrupt.
-    pub fn lookup_step_bypassing_cache(
-        &mut self,
-        query: &Query,
-    ) -> Result<StepResponse, IndexError> {
-        let key = self.cached_key(query);
-        let node = self
-            .dht_execute(DhtOp::NodeFor(key))?
-            .into_node()
-            .ok_or(IndexError::EmptyNetwork)?;
-        *self.node_queries.entry(node).or_insert(0) += 1;
-        let indexed: Vec<IndexTarget> = self
-            .dht_execute(DhtOp::Get(key))?
-            .into_values()
-            .iter()
-            .map(|b| IndexTarget::from_bytes(b))
-            .collect::<Result<_, _>>()?;
-        let request = query.canonical_text().len() as u64;
-        let response: u64 = indexed.iter().map(|t| t.encoded_len() as u64).sum();
-        self.traffic.record_exchange(request, response);
-        Ok(StepResponse {
-            node: Some(node),
-            cached: Vec::new(),
             indexed,
         })
     }
@@ -544,15 +642,20 @@ impl<D: Dht> IndexService<D> {
                 continue;
             }
             let key = self.cached_key(query);
+            let policy = self.policy;
+            let metrics = &self.metrics;
             let cache = self
                 .caches
                 .entry(*node)
-                .or_insert_with(|| ShortcutCache::for_policy(self.policy));
+                .or_insert_with(|| ShortcutCache::for_policy(policy).with_metrics(metrics.clone()));
             if cache.insert(key, target.clone()) {
                 self.traffic.record_cache_update(
                     (query.canonical_text().len() + target.encoded_len()) as u64,
                 );
                 created += 1;
+                if let Some(t) = &mut self.tracer {
+                    t.event(format!("shortcut installed at {node} for {query}"));
+                }
             }
         }
         created
@@ -585,6 +688,49 @@ impl<D: Dht> IndexService<D> {
     /// [`SearchReport::completeness`], and the remaining branches are
     /// still explored — a degraded-but-useful answer instead of an error.
     pub fn search(&mut self, query: &Query) -> Result<SearchReport, IndexError> {
+        if self.tracer.is_some() {
+            let label = format!("search {query}");
+            if let Some(t) = &mut self.tracer {
+                t.open(label);
+            }
+        }
+        self.metrics.incr("index.searches");
+        let result = self.search_inner(query);
+        if let Ok(report) = &result {
+            self.metrics
+                .add("index.search.interactions", u64::from(report.interactions));
+            self.metrics.add(
+                "index.search.generalization_steps",
+                u64::from(report.generalization_steps),
+            );
+            self.metrics.add(
+                "index.search.abandoned",
+                u64::from(report.completeness.abandoned),
+            );
+            self.metrics.observe(
+                "search.interactions_per_query",
+                u64::from(report.interactions),
+            );
+            self.metrics
+                .observe("search.files_per_query", report.files.len() as u64);
+        }
+        if let Some(t) = &mut self.tracer {
+            match &result {
+                Ok(r) => t.event(format!(
+                    "result: {} file(s), {} interaction(s), {} generalization step(s){}",
+                    r.files.len(),
+                    r.interactions,
+                    r.generalization_steps,
+                    if r.is_partial() { ", partial" } else { "" }
+                )),
+                Err(e) => t.event(format!("failed: {e}")),
+            }
+            t.close();
+        }
+        result
+    }
+
+    fn search_inner(&mut self, query: &Query) -> Result<SearchReport, IndexError> {
         let retry_before = self.retry_stats;
         let mut report = SearchReport::default();
         let mut visited: HashSet<Query> = HashSet::new();
@@ -608,6 +754,9 @@ impl<D: Dht> IndexService<D> {
                     continue;
                 }
                 report.generalization_steps += 1;
+                if let Some(t) = &mut self.tracer {
+                    t.event(format!("generalize -> {g}"));
+                }
                 let Some(resp) = self.lookup_or_abandon(&g, &mut report)? else {
                     frontier.extend(g.generalizations());
                     continue;
@@ -735,7 +884,18 @@ impl<D: Dht> IndexService<D> {
         for cache in self.caches.values_mut() {
             cache.purge_target(&dangling);
         }
+        self.metrics.incr("index.unpublish");
         Ok(msd)
+    }
+}
+
+/// A short human-readable rendering of a DHT response for trace events.
+fn describe_response(resp: &DhtResponse) -> String {
+    match resp {
+        DhtResponse::Node(n) => n.to_string(),
+        DhtResponse::Stored(new) => format!("stored (new: {new})"),
+        DhtResponse::Values(v) => format!("{} value(s)", v.len()),
+        DhtResponse::Removed(found) => format!("removed (found: {found})"),
     }
 }
 

@@ -1,0 +1,262 @@
+//! Property tests for the per-node shortcut cache's LRU semantics.
+//!
+//! The cache is checked against a naive reference model (a flat vector
+//! with explicit recency stamps) over arbitrary insert/get sequences:
+//!
+//! * the configured capacity is never exceeded, at any intermediate step;
+//! * the most-recently-probed key survives any insert sequence shorter
+//!   than the capacity;
+//! * which key gets evicted is decided by recency alone, exactly as the
+//!   reference model predicts.
+//!
+//! Each property also has a deterministic companion driven by a seeded
+//! [`SplitMix64`] sequence, so the invariants are exercised on every test
+//! run even where proptest is unavailable, and with a pinned
+//! `PROPTEST_RNG_SEED` in CI.
+
+use p2p_index_core::{IndexTarget, ShortcutCache};
+use p2p_index_dht::{Key, SplitMix64};
+use proptest::prelude::*;
+
+/// A small pool of distinct keys; indices into it make op sequences
+/// collide often enough to exercise refresh/replace paths.
+fn key(i: usize) -> Key {
+    Key::hash_of(&format!("/article/k{i}"))
+}
+
+fn target(i: usize) -> IndexTarget {
+    IndexTarget::File(format!("file-{i}.pdf"))
+}
+
+/// One step of a cache workload.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(usize, usize),
+    Get(usize),
+}
+
+/// The reference model: same replace-on-write, clock-stamped LRU
+/// semantics as `ShortcutCache`, in the most obvious possible encoding.
+struct ModelCache {
+    cap: Option<usize>,
+    clock: u64,
+    slots: Vec<(Key, IndexTarget, u64)>,
+}
+
+impl ModelCache {
+    fn new(cap: Option<usize>) -> Self {
+        ModelCache {
+            cap,
+            clock: 0,
+            slots: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, k: Key, t: IndexTarget) {
+        if self.cap == Some(0) {
+            return;
+        }
+        self.clock += 1;
+        if let Some(slot) = self.slots.iter_mut().find(|(sk, _, _)| *sk == k) {
+            slot.2 = self.clock;
+            slot.1 = t;
+            return;
+        }
+        if let Some(cap) = self.cap {
+            while self.slots.len() >= cap {
+                let oldest = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, _, used))| *used)
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                self.slots.remove(oldest);
+            }
+        }
+        self.slots.push((k, t, self.clock));
+    }
+
+    fn get(&mut self, k: &Key) -> Option<&IndexTarget> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.slots
+            .iter_mut()
+            .find(|(sk, _, _)| sk == k)
+            .map(|slot| {
+                slot.2 = clock;
+                &slot.1
+            })
+    }
+
+    fn keys(&self) -> Vec<Key> {
+        let mut ks: Vec<Key> = self.slots.iter().map(|(k, _, _)| *k).collect();
+        ks.sort();
+        ks
+    }
+}
+
+/// Applies `ops` to both the real cache and the model, checking the
+/// capacity bound and model agreement after every step.
+fn run_against_model(cap: usize, ops: &[Op]) {
+    let mut cache = ShortcutCache::with_capacity(cap);
+    let mut model = ModelCache::new(Some(cap));
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k, t) => {
+                cache.insert(key(k), target(t));
+                model.insert(key(k), target(t));
+            }
+            Op::Get(k) => {
+                let real = cache.get(&key(k)).map(|ts| ts[0].clone());
+                let modeled = model.get(&key(k)).cloned();
+                assert_eq!(real, modeled, "step {step}: get({k}) disagrees");
+            }
+        }
+        assert!(
+            cache.len() <= cap,
+            "step {step}: capacity exceeded ({} > {cap})",
+            cache.len()
+        );
+        assert_eq!(cache.len(), model.slots.len(), "step {step}: size");
+        for k in model.keys() {
+            assert!(
+                cache.peek(&k).is_some(),
+                "step {step}: model key missing from cache"
+            );
+        }
+    }
+}
+
+/// Pseudo-random op sequence from a seeded generator: inserts and gets
+/// over an 8-key pool.
+fn scripted_ops(seed: u64, len: usize) -> Vec<Op> {
+    let mut rng = SplitMix64::new(seed);
+    (0..len)
+        .map(|_| {
+            let k = (rng.next_u64() % 8) as usize;
+            match rng.next_u64() % 3 {
+                0 => Op::Get(k),
+                _ => Op::Insert(k, (rng.next_u64() % 4) as usize),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn capacity_never_exceeded_deterministic() {
+    for cap in [1, 2, 3, 5] {
+        for seed in 0..8 {
+            run_against_model(cap, &scripted_ops(seed, 200));
+        }
+    }
+}
+
+#[test]
+fn most_recently_probed_key_survives_deterministic() {
+    for cap in [2usize, 3, 5] {
+        for seed in 0..8 {
+            let mut cache = ShortcutCache::with_capacity(cap);
+            for op in scripted_ops(seed, 60) {
+                if let Op::Insert(k, t) = op {
+                    cache.insert(key(k), target(t));
+                }
+            }
+            // Probe key 0 (inserting it first if the workload evicted it),
+            // then add up to cap-1 fresh keys: the probe refreshed key 0's
+            // recency, so everything evicted must be someone else.
+            cache.insert(key(0), target(0));
+            cache.get(&key(0));
+            for fresh in 100..(100 + cap - 1) {
+                cache.insert(key(fresh), target(1));
+            }
+            assert!(
+                cache.peek(&key(0)).is_some(),
+                "cap {cap} seed {seed}: probed key was evicted"
+            );
+        }
+    }
+}
+
+#[test]
+fn eviction_order_matches_recency_deterministic() {
+    // Insert a..d into a cap-3 cache with interleaved probes; evictions
+    // must strike in exactly the recency order the model predicts.
+    let mut cache = ShortcutCache::with_capacity(3);
+    cache.insert(key(1), target(1));
+    cache.insert(key(2), target(2));
+    cache.insert(key(3), target(3));
+    cache.get(&key(1)); // recency now: 2 < 3 < 1
+    cache.insert(key(4), target(4)); // evicts 2
+    assert!(cache.peek(&key(2)).is_none());
+    assert!(cache.peek(&key(3)).is_some());
+    cache.get(&key(3)); // recency now: 1 < 4 < 3
+    cache.insert(key(5), target(5)); // evicts 1
+    assert!(cache.peek(&key(1)).is_none());
+    assert!(cache.peek(&key(4)).is_some());
+    assert!(cache.peek(&key(3)).is_some());
+    assert!(cache.peek(&key(5)).is_some());
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..8usize, 0..4usize).prop_map(|(k, t)| Op::Insert(k, t)),
+        (0..8usize).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    /// At no intermediate step does the cache hold more keys than its
+    /// capacity, and it always agrees with the reference model.
+    #[test]
+    fn capacity_never_exceeded(
+        cap in 1..6usize,
+        ops in proptest::collection::vec(arb_op(), 0..60),
+    ) {
+        run_against_model(cap, &ops);
+    }
+
+    /// After probing a key, fewer-than-capacity fresh inserts can never
+    /// evict it: the probe made it the most recently used.
+    #[test]
+    fn most_recently_probed_key_survives(
+        cap in 2..6usize,
+        ops in proptest::collection::vec(arb_op(), 0..40),
+    ) {
+        let mut cache = ShortcutCache::with_capacity(cap);
+        for op in &ops {
+            match *op {
+                Op::Insert(k, t) => { cache.insert(key(k), target(t)); }
+                Op::Get(k) => { cache.get(&key(k)); }
+            }
+        }
+        cache.insert(key(0), target(0));
+        cache.get(&key(0));
+        for fresh in 100..(100 + cap - 1) {
+            cache.insert(key(fresh), target(1));
+        }
+        prop_assert!(cache.peek(&key(0)).is_some());
+    }
+
+    /// Unbounded caches accept everything and never evict.
+    #[test]
+    fn unbounded_cache_never_evicts(
+        ops in proptest::collection::vec(arb_op(), 0..60),
+    ) {
+        let mut cache = ShortcutCache::new();
+        let mut model = ModelCache::new(None);
+        for op in &ops {
+            match *op {
+                Op::Insert(k, t) => {
+                    cache.insert(key(k), target(t));
+                    model.insert(key(k), target(t));
+                }
+                Op::Get(k) => { cache.get(&key(k)); model.get(&key(k)); }
+            }
+        }
+        prop_assert_eq!(cache.len(), model.slots.len());
+        for k in model.keys() {
+            prop_assert!(cache.peek(&k).is_some());
+        }
+    }
+}

@@ -10,6 +10,7 @@
 use std::fmt;
 
 use bytes::Bytes;
+use p2p_index_obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 use crate::key::Key;
@@ -116,6 +117,17 @@ impl DhtOp {
         match self {
             DhtOp::NodeFor(key) | DhtOp::Get(key) => key,
             DhtOp::Put { key, .. } | DhtOp::Remove { key, .. } => key,
+        }
+    }
+
+    /// A stable short name for this operation kind, used as a metrics
+    /// label suffix (`dht.ops.put`) and in trace events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DhtOp::NodeFor(_) => "node_for",
+            DhtOp::Put { .. } => "put",
+            DhtOp::Get(_) => "get",
+            DhtOp::Remove { .. } => "remove",
         }
     }
 }
@@ -261,6 +273,14 @@ pub trait Dht {
     /// Work counters accumulated since construction.
     fn stats(&self) -> DhtStats;
 
+    /// Attaches a metrics registry; subsequent [`Dht::execute`] calls
+    /// record per-operation counters (`dht.ops.*`, `dht.messages`,
+    /// `dht.lookups`, `dht.hops`, `dht.errors`) into it.
+    ///
+    /// Default: no-op, so substrates outside this crate keep compiling
+    /// and a disabled registry costs nothing on the hot path.
+    fn set_metrics(&mut self, _metrics: MetricsRegistry) {}
+
     /// Number of live nodes.
     fn len(&self) -> usize {
         self.nodes().len()
@@ -269,6 +289,34 @@ pub trait Dht {
     /// Returns `true` if the network has no live nodes.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Records one executed operation into `metrics` from the substrate's
+/// own stats delta — the registry never counts independently, it only
+/// mirrors the accounting the substrate already keeps, which is what
+/// makes `registry["dht.messages"] == stats().messages` an invariant
+/// rather than a coincidence.
+///
+/// Callers snapshot [`Dht::stats`] before and after the operation and
+/// pass both; `kind` comes from [`DhtOp::kind`].
+pub fn record_op(
+    metrics: &MetricsRegistry,
+    kind: &'static str,
+    before: DhtStats,
+    after: DhtStats,
+    result: &Result<DhtResponse, DhtError>,
+) {
+    metrics.incr("dht.ops");
+    metrics.incr(&format!("dht.ops.{kind}"));
+    metrics.add("dht.messages", after.messages - before.messages);
+    metrics.add("dht.lookups", after.lookups - before.lookups);
+    metrics.add("dht.hops", after.hops - before.hops);
+    if after.lookups > before.lookups {
+        metrics.observe("dht.hops_per_op", after.hops - before.hops);
+    }
+    if result.is_err() {
+        metrics.incr("dht.errors");
     }
 }
 

@@ -43,8 +43,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
+use p2p_index_obs::MetricsRegistry;
 
-use crate::api::{Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
+use crate::api::{self, Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
 use crate::key::{Key, KEY_BITS};
 use crate::storage::NodeStore;
 
@@ -138,6 +139,7 @@ pub struct ChordNetwork {
     stats: AtomicStats,
     /// Rotates lookup origins so routed traffic spreads over the ring.
     next_origin: AtomicU64,
+    metrics: MetricsRegistry,
 }
 
 impl ChordNetwork {
@@ -154,6 +156,7 @@ impl ChordNetwork {
             order: Vec::new(),
             stats: AtomicStats::default(),
             next_origin: AtomicU64::new(0),
+            metrics: MetricsRegistry::default(),
         }
     }
 
@@ -641,8 +644,8 @@ impl Default for ChordNetwork {
     }
 }
 
-impl Dht for ChordNetwork {
-    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+impl ChordNetwork {
+    fn execute_inner(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
         let Some(origin) = self.pick_origin() else {
             return Err(DhtError::NoLiveNodes);
         };
@@ -674,6 +677,19 @@ impl Dht for ChordNetwork {
                 Ok(DhtResponse::Removed(removed))
             }
         }
+    }
+}
+
+impl Dht for ChordNetwork {
+    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        if !self.metrics.is_enabled() {
+            return self.execute_inner(op);
+        }
+        let kind = op.kind();
+        let before = self.stats();
+        let result = self.execute_inner(op);
+        api::record_op(&self.metrics, kind, before, self.stats(), &result);
+        result
     }
 
     fn node_for(&self, key: &Key) -> Option<NodeId> {
@@ -719,6 +735,10 @@ impl Dht for ChordNetwork {
             lookups: self.stats.lookups.load(Ordering::Relaxed),
             hops: self.stats.hops.load(Ordering::Relaxed),
         }
+    }
+
+    fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     fn len(&self) -> usize {

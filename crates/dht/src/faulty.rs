@@ -40,6 +40,7 @@
 //! ```
 
 use bytes::Bytes;
+use p2p_index_obs::MetricsRegistry;
 
 use crate::api::{Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
 use crate::key::Key;
@@ -168,6 +169,7 @@ pub struct FaultyDht<D> {
     /// Sequence number for naming churn joiners; also alternates
     /// crash/join so membership stays roughly stable.
     churn_events: u64,
+    metrics: MetricsRegistry,
 }
 
 impl<D> FaultyDht<D> {
@@ -179,6 +181,7 @@ impl<D> FaultyDht<D> {
             rng: SplitMix64::new(cfg.seed),
             fstats: FaultStats::default(),
             churn_events: 0,
+            metrics: MetricsRegistry::default(),
         }
     }
 
@@ -237,6 +240,7 @@ impl<D: Dht + NodeChurn> FaultyDht<D> {
                 let victim = nodes[self.rng.gen_index(nodes.len())];
                 if self.inner.kill(victim) {
                     self.fstats.crashes += 1;
+                    self.metrics.incr("fault.crashes");
                     self.inner.stabilize();
                 }
             }
@@ -244,6 +248,7 @@ impl<D: Dht + NodeChurn> FaultyDht<D> {
             let id = NodeId::hash_of(&format!("faulty-churn-{}", self.churn_events));
             if self.inner.spawn(id) {
                 self.fstats.joins += 1;
+                self.metrics.incr("fault.joins");
                 self.inner.stabilize();
             }
         }
@@ -253,6 +258,7 @@ impl<D: Dht + NodeChurn> FaultyDht<D> {
 impl<D: Dht + NodeChurn> Dht for FaultyDht<D> {
     fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
         self.fstats.attempts += 1;
+        self.metrics.incr("fault.attempts");
         self.maybe_churn();
         if self.cfg.loss > 0.0 && self.rng.gen_bool(self.cfg.loss) {
             // A lost message: even odds the request itself vanished (the
@@ -260,8 +266,10 @@ impl<D: Dht + NodeChurn> Dht for FaultyDht<D> {
             // the caller cannot know). Callers observe only the timeout.
             if self.rng.gen_bool(0.5) {
                 self.fstats.requests_lost += 1;
+                self.metrics.incr("fault.requests_lost");
             } else {
                 self.fstats.responses_lost += 1;
+                self.metrics.incr("fault.responses_lost");
                 let _ = self.inner.execute(op);
             }
             return Err(DhtError::Timeout);
@@ -283,6 +291,13 @@ impl<D: Dht + NodeChurn> Dht for FaultyDht<D> {
 
     fn stats(&self) -> DhtStats {
         self.inner.stats()
+    }
+
+    fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        // Keep a handle for fault counters and forward the same registry
+        // to the wrapped substrate, which records the `dht.*` series.
+        self.metrics = metrics.clone();
+        self.inner.set_metrics(metrics);
     }
 
     fn len(&self) -> usize {

@@ -31,8 +31,9 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
+use p2p_index_obs::MetricsRegistry;
 
-use crate::api::{Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
+use crate::api::{self, Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
 use crate::chord::ChordError;
 use crate::key::{Key, KEY_BITS};
 use crate::storage::NodeStore;
@@ -93,6 +94,7 @@ pub struct KademliaNetwork {
     order: Vec<Key>,
     stats: Counters,
     next_origin: AtomicU64,
+    metrics: MetricsRegistry,
 }
 
 impl KademliaNetwork {
@@ -109,6 +111,7 @@ impl KademliaNetwork {
             order: Vec::new(),
             stats: Counters::default(),
             next_origin: AtomicU64::new(0),
+            metrics: MetricsRegistry::default(),
         }
     }
 
@@ -371,8 +374,8 @@ fn bucket_index(a: &Key, b: &Key) -> usize {
     KEY_BITS - 1 - lz.min(KEY_BITS - 1)
 }
 
-impl Dht for KademliaNetwork {
-    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+impl KademliaNetwork {
+    fn execute_inner(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
         let Some(origin) = self.pick_origin() else {
             return Err(DhtError::NoLiveNodes);
         };
@@ -404,6 +407,19 @@ impl Dht for KademliaNetwork {
                 Ok(DhtResponse::Removed(removed))
             }
         }
+    }
+}
+
+impl Dht for KademliaNetwork {
+    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        if !self.metrics.is_enabled() {
+            return self.execute_inner(op);
+        }
+        let kind = op.kind();
+        let before = self.stats();
+        let result = self.execute_inner(op);
+        api::record_op(&self.metrics, kind, before, self.stats(), &result);
+        result
     }
 
     fn node_for(&self, key: &Key) -> Option<NodeId> {
@@ -440,6 +456,10 @@ impl Dht for KademliaNetwork {
             lookups: self.stats.lookups.load(Ordering::Relaxed),
             hops: self.stats.hops.load(Ordering::Relaxed),
         }
+    }
+
+    fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     fn len(&self) -> usize {

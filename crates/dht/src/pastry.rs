@@ -32,8 +32,9 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
+use p2p_index_obs::MetricsRegistry;
 
-use crate::api::{Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
+use crate::api::{self, Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
 use crate::chord::ChordError;
 use crate::key::{Key, KEY_BITS};
 use crate::storage::NodeStore;
@@ -101,6 +102,7 @@ pub struct PastryNetwork {
     order: Vec<Key>,
     stats: Counters,
     next_origin: AtomicU64,
+    metrics: MetricsRegistry,
 }
 
 /// The hex digit of `key` at position `i` (0 = most significant).
@@ -141,6 +143,7 @@ impl PastryNetwork {
             order: Vec::new(),
             stats: Counters::default(),
             next_origin: AtomicU64::new(0),
+            metrics: MetricsRegistry::default(),
         }
     }
 
@@ -520,8 +523,8 @@ impl Default for PastryNetwork {
     }
 }
 
-impl Dht for PastryNetwork {
-    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+impl PastryNetwork {
+    fn execute_inner(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
         let Some(origin) = self.pick_origin() else {
             return Err(DhtError::NoLiveNodes);
         };
@@ -552,6 +555,19 @@ impl Dht for PastryNetwork {
                 Ok(DhtResponse::Removed(removed))
             }
         }
+    }
+}
+
+impl Dht for PastryNetwork {
+    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        if !self.metrics.is_enabled() {
+            return self.execute_inner(op);
+        }
+        let kind = op.kind();
+        let before = self.stats();
+        let result = self.execute_inner(op);
+        api::record_op(&self.metrics, kind, before, self.stats(), &result);
+        result
     }
 
     fn node_for(&self, key: &Key) -> Option<NodeId> {
@@ -595,6 +611,10 @@ impl Dht for PastryNetwork {
             lookups: self.stats.lookups.load(Ordering::Relaxed),
             hops: self.stats.hops.load(Ordering::Relaxed),
         }
+    }
+
+    fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     fn len(&self) -> usize {

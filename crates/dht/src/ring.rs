@@ -15,8 +15,9 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
+use p2p_index_obs::MetricsRegistry;
 
-use crate::api::{Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
+use crate::api::{self, Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
 use crate::key::Key;
 use crate::storage::NodeStore;
 
@@ -47,6 +48,7 @@ pub struct RingDht {
     // request/response pair like every other substrate does.
     lookups: AtomicU64,
     messages: AtomicU64,
+    metrics: MetricsRegistry,
 }
 
 impl Clone for RingDht {
@@ -55,6 +57,7 @@ impl Clone for RingDht {
             stores: self.stores.clone(),
             lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
             messages: AtomicU64::new(self.messages.load(Ordering::Relaxed)),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -178,8 +181,8 @@ impl RingDht {
     }
 }
 
-impl Dht for RingDht {
-    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+impl RingDht {
+    fn execute_inner(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
         if self.stores.is_empty() {
             return Err(DhtError::NoLiveNodes);
         }
@@ -212,6 +215,19 @@ impl Dht for RingDht {
             }
         }
     }
+}
+
+impl Dht for RingDht {
+    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        if !self.metrics.is_enabled() {
+            return self.execute_inner(op);
+        }
+        let kind = op.kind();
+        let before = self.stats();
+        let result = self.execute_inner(op);
+        api::record_op(&self.metrics, kind, before, self.stats(), &result);
+        result
+    }
 
     fn node_for(&self, key: &Key) -> Option<NodeId> {
         self.owner(key)
@@ -238,6 +254,10 @@ impl Dht for RingDht {
             lookups: self.lookups.load(Ordering::Relaxed),
             hops: 0,
         }
+    }
+
+    fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     fn len(&self) -> usize {

@@ -10,8 +10,10 @@
 
 use bytes::Bytes;
 use p2p_index_dht::{
-    ChordNetwork, Dht, DhtError, DhtOp, DhtResponse, KademliaNetwork, Key, PastryNetwork, RingDht,
+    ChordNetwork, Dht, DhtError, DhtOp, DhtResponse, FaultConfig, FaultyDht, KademliaNetwork, Key,
+    NodeChurn, PastryNetwork, RingDht,
 };
+use p2p_index_obs::MetricsRegistry;
 
 fn keys(n: usize) -> Vec<Key> {
     (0..n).map(|i| Key::hash_of(&format!("node-{i}"))).collect()
@@ -168,6 +170,118 @@ fn rpc_pairs_count_as_two_messages() {
             6,
             "{name}: remove = request + response"
         );
+    }
+}
+
+#[test]
+fn metrics_registry_mirrors_message_accounting() {
+    // Same single-node isolation as `rpc_pairs_count_as_two_messages`, but
+    // observed through an attached registry: the `dht.*` series must equal
+    // the substrate's own accounting, op for op.
+    for (name, mut dht) in substrates(1) {
+        let registry = MetricsRegistry::new();
+        dht.set_metrics(registry.clone());
+        let key = Key::hash_of("metered");
+        exec_put(dht.as_mut(), key, "v");
+        assert_eq!(
+            registry.counter("dht.messages"),
+            2,
+            "{name}: put = request + response under the registry"
+        );
+        exec_get(dht.as_mut(), key);
+        assert_eq!(registry.counter("dht.messages"), 4, "{name}: get pair");
+        exec_remove(dht.as_mut(), key, "v");
+        assert_eq!(registry.counter("dht.messages"), 6, "{name}: remove pair");
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("dht.ops"), 3, "{name}");
+        assert_eq!(snap.counter("dht.ops.put"), 1, "{name}");
+        assert_eq!(snap.counter("dht.ops.get"), 1, "{name}");
+        assert_eq!(snap.counter("dht.ops.remove"), 1, "{name}");
+        assert_eq!(snap.counter("dht.errors"), 0, "{name}");
+        let stats = dht.stats();
+        assert_eq!(
+            snap.counter("dht.messages"),
+            stats.messages,
+            "{name}: registry must mirror DhtStats exactly"
+        );
+        assert_eq!(snap.counter("dht.lookups"), stats.lookups, "{name}");
+        assert_eq!(snap.counter("dht.hops"), stats.hops, "{name}");
+    }
+}
+
+fn faulty_metrics_case<D: Dht + NodeChurn>(name: &str, inner: D) {
+    let mut dht = FaultyDht::new(inner, FaultConfig::lossy(7, 0.4));
+    let registry = MetricsRegistry::new();
+    dht.set_metrics(registry.clone());
+    let key = Key::hash_of("retried");
+    let mut successes = 0u64;
+    for value in ["a", "b", "c"] {
+        // A caller-side retry loop, as the index layer's RetryPolicy would
+        // drive it: reissue on timeout until the put lands.
+        loop {
+            match dht.execute(DhtOp::Put {
+                key,
+                value: Bytes::from(value),
+            }) {
+                Ok(_) => {
+                    successes += 1;
+                    break;
+                }
+                Err(DhtError::Timeout) => continue,
+                Err(e) => panic!("{name}: unexpected error {e}"),
+            }
+        }
+    }
+    let fstats = dht.fault_stats();
+    assert!(fstats.injected() > 0, "{name}: loss 0.4 must inject faults");
+
+    // fault.* mirrors the wrapper's own accounting...
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("fault.attempts"), fstats.attempts, "{name}");
+    assert_eq!(
+        snap.counter("fault.requests_lost"),
+        fstats.requests_lost,
+        "{name}"
+    );
+    assert_eq!(
+        snap.counter("fault.responses_lost"),
+        fstats.responses_lost,
+        "{name}"
+    );
+    // ...and dht.* mirrors the wrapped substrate's: only operations that
+    // actually reached it (successes + lost responses) count, two
+    // messages each, even through the retry storm.
+    let expected_messages = 2 * (successes + fstats.responses_lost);
+    assert_eq!(dht.stats().messages, expected_messages, "{name}");
+    assert_eq!(
+        snap.counter("dht.messages"),
+        expected_messages,
+        "{name}: registry and substrate must agree under faults"
+    );
+}
+
+#[test]
+fn metrics_survive_faulty_retries() {
+    faulty_metrics_case("ring", RingDht::from_ids(keys(1)));
+    faulty_metrics_case("chord", ChordNetwork::with_perfect_tables(keys(1)));
+    faulty_metrics_case("kademlia", KademliaNetwork::with_nodes(keys(1)));
+    faulty_metrics_case("pastry", PastryNetwork::with_perfect_tables(keys(1)));
+}
+
+#[test]
+fn detached_registry_records_nothing() {
+    for (name, mut dht) in substrates(4) {
+        let key = Key::hash_of("silent");
+        exec_put(dht.as_mut(), key, "v");
+        let registry = MetricsRegistry::disabled();
+        dht.set_metrics(registry.clone());
+        exec_get(dht.as_mut(), key);
+        assert!(
+            registry.snapshot().is_empty(),
+            "{name}: the disabled registry must stay empty"
+        );
+        assert!(dht.stats().messages >= 4, "{name}: ops still happen");
     }
 }
 

@@ -1,0 +1,30 @@
+//! Deterministic observability for the p2p-index system.
+//!
+//! Two primitives, zero dependencies:
+//!
+//! * [`MetricsRegistry`] — named counters and fixed-bucket histograms
+//!   behind an `Arc`-shareable handle. The default handle is
+//!   **disabled** and every recording call on it is a no-op `Option`
+//!   check, so instrumented code pays nothing until somebody turns
+//!   metrics on. [`MetricsRegistry::snapshot`] freezes the state into a
+//!   sorted, comparable [`MetricsSnapshot`] with JSON/CSV renderings.
+//! * [`Trace`] / [`TraceRecorder`] — a span tree recording one
+//!   operation end-to-end (generalization steps, index hops, per-hop
+//!   DHT ops, retries, cache probes), with a deterministic
+//!   pretty-printer behind `repro trace <query>`.
+//!
+//! Everything here is deterministic by construction: no clocks, no
+//! thread ids, ordered maps only. Equal executions produce byte-equal
+//! snapshots and traces, which is what lets the simulator emit metrics
+//! from a parallel work queue and still be byte-identical at any
+//! `--jobs N`, and what turns metrics into executable invariants in
+//! `tests/invariants.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{Histogram, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS, BUCKET_COUNT};
+pub use trace::{Span, SpanItem, Trace, TraceRecorder};

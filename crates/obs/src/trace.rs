@@ -1,0 +1,233 @@
+//! A span tree recording one operation end-to-end.
+//!
+//! A [`Trace`] is a tree of [`Span`]s: each span has a label, a list of
+//! point-in-time events, and child spans. The index layer opens a span
+//! per search and per lookup step, and drops events for every DHT
+//! operation, retry, backoff, cache probe, and generalization along the
+//! way — so `repro trace <query>` can show exactly where a lookup went.
+//!
+//! Recording is strictly deterministic: no wall-clock timestamps, no
+//! thread ids — only what happened and in which order. That makes
+//! traces comparable in tests (span counts are asserted against
+//! `SearchReport` accounting in the invariant suite).
+
+/// One entry recorded inside a span, in chronological order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanItem {
+    /// A point-in-time event.
+    Event(String),
+    /// A nested span, pushed when it closes.
+    Child(Span),
+}
+
+/// One node of a trace tree: a label plus events and child spans,
+/// interleaved in the order they were recorded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Span {
+    /// What this span covers, e.g. `"lookup /article/conf/X"`.
+    pub label: String,
+    /// Events and nested spans, in chronological order.
+    pub items: Vec<SpanItem>,
+}
+
+impl Span {
+    fn new(label: String) -> Self {
+        Span {
+            label,
+            items: Vec::new(),
+        }
+    }
+
+    /// The point events of this span, in order.
+    pub fn events(&self) -> impl Iterator<Item = &str> {
+        self.items.iter().filter_map(|item| match item {
+            SpanItem::Event(e) => Some(e.as_str()),
+            SpanItem::Child(_) => None,
+        })
+    }
+
+    /// The nested spans, in the order they were opened.
+    pub fn children(&self) -> impl Iterator<Item = &Span> {
+        self.items.iter().filter_map(|item| match item {
+            SpanItem::Child(c) => Some(c),
+            SpanItem::Event(_) => None,
+        })
+    }
+
+    /// Number of spans in this subtree (including `self`) whose label
+    /// starts with `prefix`.
+    pub fn count_spans(&self, prefix: &str) -> usize {
+        usize::from(self.label.starts_with(prefix))
+            + self
+                .children()
+                .map(|c| c.count_spans(prefix))
+                .sum::<usize>()
+    }
+
+    /// Number of events in this subtree whose text starts with `prefix`.
+    pub fn count_events(&self, prefix: &str) -> usize {
+        self.items
+            .iter()
+            .map(|item| match item {
+                SpanItem::Event(e) => usize::from(e.starts_with(prefix)),
+                SpanItem::Child(c) => c.count_events(prefix),
+            })
+            .sum()
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!("{indent}{}\n", self.label));
+        for item in &self.items {
+            match item {
+                SpanItem::Event(event) => out.push_str(&format!("{indent}  - {event}\n")),
+                SpanItem::Child(child) => child.render_into(out, depth + 1),
+            }
+        }
+    }
+}
+
+/// A finished trace: the root span of the recorded tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The outermost span (usually one `search <query>`).
+    pub root: Span,
+}
+
+impl Trace {
+    /// Pretty-prints the tree, two-space indented, events as `- ` lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render_into(&mut out, 0);
+        out
+    }
+
+    /// Counts spans whose label starts with `prefix` (see
+    /// [`Span::count_spans`]).
+    pub fn count_spans(&self, prefix: &str) -> usize {
+        self.root.count_spans(prefix)
+    }
+
+    /// Counts events whose text starts with `prefix`.
+    pub fn count_events(&self, prefix: &str) -> usize {
+        self.root.count_events(prefix)
+    }
+}
+
+/// Builds a [`Trace`] incrementally with an open/event/close protocol.
+///
+/// The recorder keeps a stack of open spans; `open` pushes a child,
+/// `close` pops it into its parent, and `finish` closes everything that
+/// is still open and returns the tree. Closing more often than opening
+/// is a no-op at the root, so instrumentation bugs degrade gracefully
+/// instead of panicking mid-search.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    stack: Vec<Span>,
+}
+
+impl TraceRecorder {
+    /// Starts recording with a root span labelled `label`.
+    pub fn new(label: impl Into<String>) -> Self {
+        TraceRecorder {
+            stack: vec![Span::new(label.into())],
+        }
+    }
+
+    /// Opens a child span; subsequent events/opens nest inside it.
+    pub fn open(&mut self, label: impl Into<String>) {
+        self.stack.push(Span::new(label.into()));
+    }
+
+    /// Records a point event in the innermost open span.
+    pub fn event(&mut self, text: impl Into<String>) {
+        if let Some(span) = self.stack.last_mut() {
+            span.items.push(SpanItem::Event(text.into()));
+        }
+    }
+
+    /// Closes the innermost open span (no-op if only the root is open).
+    pub fn close(&mut self) {
+        if self.stack.len() > 1 {
+            let span = self.stack.pop().expect("stack len checked above");
+            self.stack
+                .last_mut()
+                .expect("root remains after pop")
+                .items
+                .push(SpanItem::Child(span));
+        }
+    }
+
+    /// Closes any still-open spans and returns the finished tree.
+    pub fn finish(mut self) -> Trace {
+        while self.stack.len() > 1 {
+            self.close();
+        }
+        Trace {
+            root: self.stack.pop().expect("recorder always holds a root"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_nested_tree_in_order() {
+        let mut rec = TraceRecorder::new("search q");
+        rec.event("generalize q -> q'");
+        rec.open("lookup q");
+        rec.event("dht node_for");
+        rec.event("cache miss");
+        rec.close();
+        rec.open("lookup q'");
+        rec.event("dht get -> 2 values");
+        rec.close();
+        let trace = rec.finish();
+        assert_eq!(trace.root.label, "search q");
+        assert_eq!(
+            trace.root.events().collect::<Vec<_>>(),
+            vec!["generalize q -> q'"]
+        );
+        assert_eq!(trace.root.children().count(), 2);
+        let first = trace.root.children().next().unwrap();
+        assert_eq!(first.events().count(), 2);
+        assert_eq!(trace.count_spans("lookup"), 2);
+        assert_eq!(trace.count_events("dht "), 2);
+    }
+
+    #[test]
+    fn unbalanced_close_is_harmless_and_finish_closes_open_spans() {
+        let mut rec = TraceRecorder::new("root");
+        rec.close(); // extra close: no-op
+        rec.open("a");
+        rec.open("b");
+        rec.event("inside b");
+        let trace = rec.finish(); // closes b then a
+        assert_eq!(trace.root.children().count(), 1);
+        let a = trace.root.children().next().unwrap();
+        let b = a.children().next().unwrap();
+        assert_eq!(b.events().count(), 1);
+    }
+
+    #[test]
+    fn events_interleave_with_children_chronologically() {
+        let mut rec = TraceRecorder::new("root");
+        rec.event("before");
+        rec.open("child");
+        rec.close();
+        rec.event("after");
+        let out = rec.finish().render();
+        assert_eq!(out, "root\n  - before\n  child\n  - after\n");
+    }
+
+    #[test]
+    fn render_indents_spans_and_events() {
+        let mut rec = TraceRecorder::new("root");
+        rec.open("child");
+        rec.event("ev");
+        let out = rec.finish().render();
+        assert_eq!(out, "root\n  child\n    - ev\n");
+    }
+}

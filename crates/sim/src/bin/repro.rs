@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! repro <exhibit> [--small] [--nodes N] [--articles N] [--queries N]
-//!                 [--seed N] [--csv DIR] [--jobs N]
+//!                 [--seed N] [--csv DIR] [--jobs N] [--metrics FILE]
+//! repro trace <query> [--small] [...]
 //!
 //! exhibits: fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1 storage
-//!           ext-structures ext-churn robustness bench all
+//!           ext-structures ext-churn robustness bench trace all
 //! ```
 //!
 //! Default scale is the paper's (500 nodes, 10 000 articles, 50 000
@@ -16,31 +17,50 @@
 //! threads (`0` = all cores, default `1`). Cell seeds are fixed per cell,
 //! so the emitted tables and CSVs are byte-identical at any job count.
 //!
+//! `--metrics FILE` attaches the observability registry to every cell and
+//! writes the per-cell counter/histogram snapshots as deterministic JSON —
+//! identical at any `--jobs` count.
+//!
+//! `trace <query>` prepares the network, runs one automated search with
+//! lookup tracing enabled, and pretty-prints the span tree: generalization
+//! steps, index hops, per-hop DHT operations, cache probes.
+//!
 //! `bench` times one fixed cell and the full figure grid (serial, then
-//! parallel) and writes `BENCH_results.json` next to the CSVs.
+//! parallel) and writes `BENCH_results.json` next to the CSVs. Every
+//! timing is the median of 3 runs after a warmup pass, so the JSON is
+//! diff-stable across repeated invocations.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 use p2p_index_core::CachePolicy;
 use p2p_index_sim::exec::resolve_jobs;
 use p2p_index_sim::experiments::{self, EvalConfig, Evaluation};
-use p2p_index_sim::simulation::{SchemeChoice, Simulation};
+use p2p_index_sim::simulation::{SchemeChoice, SimConfig, Simulation};
 use p2p_index_sim::table::TextTable;
+use p2p_index_xpath::Query;
 
 struct Args {
     exhibit: String,
+    query: Option<String>,
     config: EvalConfig,
     csv_dir: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
     jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let exhibit = args.next().ok_or_else(usage)?;
+    let query = if exhibit == "trace" {
+        Some(args.next().ok_or("trace needs a query argument")?)
+    } else {
+        None
+    };
     let mut config = EvalConfig::paper();
     let mut csv_dir = None;
+    let mut metrics_path = None;
     let mut jobs = 1usize;
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -50,14 +70,19 @@ fn parse_args() -> Result<Args, String> {
             "--queries" => config.queries = parse_num(args.next(), "--queries")?,
             "--seed" => config.seed = parse_num(args.next(), "--seed")? as u64,
             "--csv" => csv_dir = Some(PathBuf::from(args.next().ok_or("--csv needs a directory")?)),
+            "--metrics" => {
+                metrics_path = Some(PathBuf::from(args.next().ok_or("--metrics needs a file")?))
+            }
             "--jobs" => jobs = resolve_jobs(parse_num(args.next(), "--jobs")?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
     Ok(Args {
         exhibit,
+        query,
         config,
         csv_dir,
+        metrics_path,
         jobs,
     })
 }
@@ -71,8 +96,82 @@ fn parse_num(value: Option<String>, flag: &str) -> Result<usize, String> {
 
 fn usage() -> String {
     "usage: repro <fig7|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|storage|ext-structures|ext-churn|robustness|bench|all> \
-     [--small] [--nodes N] [--articles N] [--queries N] [--seed N] [--csv DIR] [--jobs N]"
+     [--small] [--nodes N] [--articles N] [--queries N] [--seed N] [--csv DIR] [--jobs N] [--metrics FILE]\n\
+     \x20      repro trace <query> [--small] [--nodes N] [--articles N] [--seed N]"
         .to_string()
+}
+
+/// Writes the per-cell observability snapshots as one deterministic JSON
+/// object keyed by `Scheme/policy`, in sorted key order.
+fn write_metrics(eval: &Evaluation, path: &Path) {
+    let cells = eval.metrics_snapshots();
+    let mut json = String::from("{");
+    for (i, (label, snap)) in cells.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n  \"{label}\": {}",
+            snap.to_json().replace('\n', "\n  ")
+        ));
+    }
+    json.push_str("\n}\n");
+    match write_creating_parent(path, &json) {
+        Ok(()) => eprintln!("wrote {} ({} cells)", path.display(), cells.len()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
+/// `fs::write`, creating the file's parent directory first so `--metrics
+/// results/metrics.json` works before any CSV has created `results/`.
+fn write_creating_parent(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, contents)
+}
+
+/// The `trace` sub-command: publish the corpus, then run one automated
+/// search with lookup tracing on and pretty-print the span tree.
+fn trace(cfg: &EvalConfig, query_text: &str) -> ExitCode {
+    let query: Query = match query_text.parse() {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("cannot parse query {query_text:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sim = Simulation::prepare(SimConfig {
+        queries: 0,
+        collect_metrics: true,
+        ..cfg.sim(SchemeChoice::Simple, CachePolicy::Single)
+    });
+    let service = sim.service_mut();
+    service.start_trace(format!(
+        "trace: simple scheme, single-cache, {} nodes, {} articles",
+        cfg.nodes, cfg.articles
+    ));
+    let result = service.search(&query);
+    let trace = service.finish_trace().expect("trace was started");
+    print!("{}", trace.render());
+    match result {
+        Ok(report) => {
+            println!(
+                "\n{} file(s), {} interaction(s), {} generalization step(s)",
+                report.files.len(),
+                report.interactions,
+                report.generalization_steps
+            );
+            for hit in &report.files {
+                println!("  {} <- {}", hit.file, hit.msd);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("search failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn emit(table: &TextTable, csv_dir: &Option<PathBuf>, name: &str) {
@@ -91,40 +190,72 @@ fn emit(table: &TextTable, csv_dir: &Option<PathBuf>, name: &str) {
     }
 }
 
+/// Median of three timed runs of `f` (not counting any caller warmup).
+fn median_of_3(mut f: impl FnMut()) -> f64 {
+    let mut times = [0.0f64; 3];
+    for slot in &mut times {
+        let started = Instant::now();
+        f();
+        *slot = started.elapsed().as_secs_f64();
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
+    times[1]
+}
+
 /// The `bench` sub-command: time one fixed cell and the full figure grid
 /// (serial vs parallel), print the numbers, and record them in
-/// `BENCH_results.json`.
-fn bench(cfg: &EvalConfig, jobs: usize, csv_dir: &Option<PathBuf>) {
-    // A fixed reference cell: simple scheme, single-cache policy.
-    let started = Instant::now();
-    let metrics = Simulation::run(cfg.sim(SchemeChoice::Simple, CachePolicy::Single));
-    let cell_secs = started.elapsed().as_secs_f64();
+/// `BENCH_results.json`. Each timing is the median of 3 runs; a warmup
+/// pass (untimed) precedes them so page-cache and allocator effects don't
+/// land in the first sample.
+fn bench(cfg: &EvalConfig, jobs: usize, csv_dir: &Option<PathBuf>, metrics_path: &Option<PathBuf>) {
+    // Warmup pass over the fixed reference cell (simple scheme,
+    // single-cache policy); doubles as the observability sample when
+    // `--metrics` asks for one.
+    let (metrics, snapshot) = Simulation::run_with_snapshot(SimConfig {
+        collect_metrics: metrics_path.is_some(),
+        ..cfg.sim(SchemeChoice::Simple, CachePolicy::Single)
+    });
+    if let (Some(path), Some(snap)) = (metrics_path, snapshot) {
+        let json = format!(
+            "{{\n  \"Simple/single-cache\": {}\n}}\n",
+            snap.to_json().replace('\n', "\n  ")
+        );
+        match write_creating_parent(path, &json) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+
+    let cell_secs = median_of_3(|| {
+        Simulation::run(cfg.sim(SchemeChoice::Simple, CachePolicy::Single));
+    });
     let queries_per_sec = cfg.queries as f64 / cell_secs.max(1e-9);
     eprintln!(
-        "# cell simple/single-cache: {cell_secs:.3} s, {queries_per_sec:.0} queries/s \
+        "# cell simple/single-cache: median {cell_secs:.3} s, {queries_per_sec:.0} queries/s \
          ({:.2} interactions/query)",
         metrics.mean_interactions()
     );
 
     // The full scheme × policy grid, serial then parallel (fresh
-    // evaluations, so both runs do all the work).
+    // evaluations per run, so every run does all the work).
     let grid = experiments::paper_grid();
-    let started = Instant::now();
-    Evaluation::new(*cfg).run_cells(&grid, 1);
-    let serial_secs = started.elapsed().as_secs_f64();
+    let serial_secs = median_of_3(|| {
+        Evaluation::new(*cfg).run_cells(&grid, 1);
+    });
     let par_jobs = if jobs > 1 { jobs } else { resolve_jobs(0) };
-    let started = Instant::now();
-    Evaluation::new(*cfg).run_cells(&grid, par_jobs);
-    let parallel_secs = started.elapsed().as_secs_f64();
+    let parallel_secs = median_of_3(|| {
+        Evaluation::new(*cfg).run_cells(&grid, par_jobs);
+    });
     let speedup = serial_secs / parallel_secs.max(1e-9);
     eprintln!(
-        "# grid ({} cells): serial {serial_secs:.3} s, --jobs {par_jobs} {parallel_secs:.3} s, \
-         speedup {speedup:.2}x",
+        "# grid ({} cells): serial median {serial_secs:.3} s, --jobs {par_jobs} median \
+         {parallel_secs:.3} s, speedup {speedup:.2}x",
         grid.len()
     );
 
     let json = format!(
         "{{\n  \"config\": {{ \"nodes\": {}, \"articles\": {}, \"queries\": {}, \"seed\": {} }},\n  \
+           \"timing\": {{ \"warmup_runs\": 1, \"samples\": 3, \"statistic\": \"median\" }},\n  \
            \"cell\": {{ \"scheme\": \"simple\", \"policy\": \"single-cache\", \
                         \"wall_clock_s\": {cell_secs:.6}, \"queries_per_sec\": {queries_per_sec:.1} }},\n  \
            \"grid\": {{ \"cells\": {}, \"serial_s\": {serial_secs:.6}, \"jobs\": {par_jobs}, \
@@ -161,8 +292,14 @@ fn main() -> ExitCode {
         "# scale: {} nodes, {} articles, {} queries (seed {}, {} jobs)",
         cfg.nodes, cfg.articles, cfg.queries, cfg.seed, jobs
     );
+    if args.exhibit == "trace" {
+        let query = args.query.as_deref().expect("parse_args requires it");
+        return trace(&cfg, query);
+    }
     let mut eval = Evaluation::new(cfg);
+    eval.set_collect_metrics(args.metrics_path.is_some());
     let csv = &args.csv_dir;
+    let metrics_path = &args.metrics_path;
 
     let run = |name: &str, eval: &mut Evaluation| -> bool {
         // Pre-run the cells this exhibit needs across the worker pool; the
@@ -193,7 +330,7 @@ fn main() -> ExitCode {
                 csv,
                 "ext_robustness",
             ),
-            "bench" => bench(&cfg, jobs, csv),
+            "bench" => bench(&cfg, jobs, csv, metrics_path),
             _ => return false,
         }
         true
@@ -220,8 +357,18 @@ fn main() -> ExitCode {
         ] {
             run(name, &mut eval);
         }
+        if let Some(path) = metrics_path {
+            write_metrics(&eval, path);
+        }
         ExitCode::SUCCESS
     } else if run(&args.exhibit.clone(), &mut eval) {
+        if let Some(path) = metrics_path {
+            // `bench` writes its own reference-cell snapshot; grid exhibits
+            // dump every cell the run touched.
+            if args.exhibit != "bench" {
+                write_metrics(&eval, path);
+            }
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!("unknown exhibit {:?}\n{}", args.exhibit, usage());

@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 
 use p2p_index_core::CachePolicy;
+use p2p_index_obs::MetricsSnapshot;
 use p2p_index_workload::{PaperCcdf, StructureMix, ZipfPopularity};
 
 use crate::simulation::{Metrics, SchemeChoice, SimConfig, Simulation};
@@ -80,6 +81,7 @@ impl EvalConfig {
             policy,
             mix: StructureMix::paper_simulation(),
             seed: self.seed,
+            collect_metrics: false,
         }
     }
 }
@@ -89,6 +91,8 @@ impl EvalConfig {
 pub struct Evaluation {
     base: EvalConfig,
     cells: HashMap<(SchemeChoice, CachePolicy), Metrics>,
+    collect_metrics: bool,
+    snapshots: HashMap<(SchemeChoice, CachePolicy), MetricsSnapshot>,
 }
 
 impl Evaluation {
@@ -97,6 +101,8 @@ impl Evaluation {
         Evaluation {
             base,
             cells: HashMap::new(),
+            collect_metrics: false,
+            snapshots: HashMap::new(),
         }
     }
 
@@ -105,12 +111,32 @@ impl Evaluation {
         &self.base
     }
 
+    /// Attach an observability registry to every cell run from now on;
+    /// snapshots are collected per cell and exposed through
+    /// [`metrics_snapshots`](Self::metrics_snapshots). Cells that already
+    /// ran are not re-run.
+    pub fn set_collect_metrics(&mut self, collect: bool) {
+        self.collect_metrics = collect;
+    }
+
+    fn cell_config(&self, scheme: SchemeChoice, policy: CachePolicy) -> SimConfig {
+        SimConfig {
+            collect_metrics: self.collect_metrics,
+            ..self.base.sim(scheme, policy)
+        }
+    }
+
     /// Runs (or recalls) one grid cell.
     pub fn cell(&mut self, scheme: SchemeChoice, policy: CachePolicy) -> &Metrics {
-        let base = self.base;
-        self.cells
-            .entry((scheme, policy))
-            .or_insert_with(|| Simulation::run(base.sim(scheme, policy)))
+        if !self.cells.contains_key(&(scheme, policy)) {
+            let (metrics, snapshot) =
+                Simulation::run_with_snapshot(self.cell_config(scheme, policy));
+            if let Some(s) = snapshot {
+                self.snapshots.insert((scheme, policy), s);
+            }
+            self.cells.insert((scheme, policy), metrics);
+        }
+        &self.cells[&(scheme, policy)]
     }
 
     /// Runs a batch of grid cells, up to `jobs` concurrently, and memoizes
@@ -129,10 +155,17 @@ impl Evaluation {
             }
         }
         let base = self.base;
-        let metrics = crate::exec::parallel_map(&pending, jobs, |&(scheme, policy)| {
-            Simulation::run(base.sim(scheme, policy))
+        let collect = self.collect_metrics;
+        let results = crate::exec::parallel_map(&pending, jobs, |&(scheme, policy)| {
+            Simulation::run_with_snapshot(SimConfig {
+                collect_metrics: collect,
+                ..base.sim(scheme, policy)
+            })
         });
-        for (cell, m) in pending.into_iter().zip(metrics) {
+        for (cell, (m, snapshot)) in pending.into_iter().zip(results) {
+            if let Some(s) = snapshot {
+                self.snapshots.insert(cell, s);
+            }
             self.cells.insert(cell, m);
         }
     }
@@ -140,6 +173,19 @@ impl Evaluation {
     /// Number of cells simulated so far.
     pub fn cells_run(&self) -> usize {
         self.cells.len()
+    }
+
+    /// The per-cell observability snapshots collected so far, labelled
+    /// `Scheme/policy` and sorted by label — a canonical order, so output
+    /// rendered from them is identical at any `--jobs` count.
+    pub fn metrics_snapshots(&self) -> Vec<(String, &MetricsSnapshot)> {
+        let mut out: Vec<(String, &MetricsSnapshot)> = self
+            .snapshots
+            .iter()
+            .map(|((scheme, policy), snap)| (format!("{}/{}", scheme.label(), policy), snap))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 }
 

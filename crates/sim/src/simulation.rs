@@ -20,6 +20,7 @@ use p2p_index_core::{
     SimpleScheme, Traffic,
 };
 use p2p_index_dht::{Dht, NodeId, RingDht};
+use p2p_index_obs::{MetricsRegistry, MetricsSnapshot};
 use p2p_index_workload::{Corpus, CorpusConfig, QueryGenerator, StructureMix};
 use p2p_index_xpath::Query;
 use serde::{Deserialize, Serialize};
@@ -93,6 +94,11 @@ pub struct SimConfig {
     pub mix: StructureMix,
     /// Seed for corpus and workload generation.
     pub seed: u64,
+    /// Attach a [`MetricsRegistry`] to the service for the query phase,
+    /// so [`Simulation::metrics_snapshot`] returns the observability
+    /// counters. Off by default: recording is skipped entirely and the
+    /// simulation behaves byte-identically to a build without it.
+    pub collect_metrics: bool,
 }
 
 impl Default for SimConfig {
@@ -105,6 +111,7 @@ impl Default for SimConfig {
             policy: CachePolicy::None,
             mix: StructureMix::paper_simulation(),
             seed: 42,
+            collect_metrics: false,
         }
     }
 }
@@ -278,6 +285,11 @@ impl Simulation {
             msds.push(msd);
         }
         service.reset_metrics();
+        if config.collect_metrics {
+            // Attached after publishing so the registry, like the traffic
+            // counters, covers exactly the query phase.
+            service.set_metrics(MetricsRegistry::new());
+        }
         Simulation {
             config,
             corpus,
@@ -296,6 +308,18 @@ impl Simulation {
         &self.service
     }
 
+    /// Mutable access to the index service (e.g. to trace a lookup).
+    pub fn service_mut(&mut self) -> &mut IndexService<RingDht> {
+        &mut self.service
+    }
+
+    /// The observability counters recorded so far, if
+    /// [`SimConfig::collect_metrics`] attached a registry.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let registry = self.service.metrics();
+        registry.is_enabled().then(|| registry.snapshot())
+    }
+
     /// The MSD of article `id`.
     pub fn msd(&self, id: usize) -> &Query {
         &self.msds[id]
@@ -305,6 +329,15 @@ impl Simulation {
     pub fn run(config: SimConfig) -> Metrics {
         let mut sim = Simulation::prepare(config);
         sim.execute()
+    }
+
+    /// Like [`run`](Self::run), but also returns the observability
+    /// snapshot when [`SimConfig::collect_metrics`] is set.
+    pub fn run_with_snapshot(config: SimConfig) -> (Metrics, Option<MetricsSnapshot>) {
+        let mut sim = Simulation::prepare(config);
+        let metrics = sim.execute();
+        let snapshot = sim.metrics_snapshot();
+        (metrics, snapshot)
     }
 
     /// Feeds the query workload through the prepared network.

@@ -95,6 +95,51 @@ fn run_cells_at_any_job_count_matches_serial_metrics() {
 }
 
 #[test]
+fn metrics_snapshots_are_identical_at_any_job_count() {
+    let cells = [
+        (SchemeChoice::Simple, CachePolicy::Single),
+        (SchemeChoice::Flat, CachePolicy::None),
+        (SchemeChoice::Complex, CachePolicy::Lru(10)),
+    ];
+    let mut reference = Evaluation::new(tiny());
+    reference.set_collect_metrics(true);
+    for &(s, p) in &cells {
+        reference.cell(s, p);
+    }
+    let reference_snaps = reference.metrics_snapshots();
+    assert_eq!(
+        reference_snaps.len(),
+        cells.len(),
+        "every collected cell must produce a snapshot"
+    );
+    for jobs in [2, 8] {
+        let mut e = Evaluation::new(tiny());
+        e.set_collect_metrics(true);
+        e.run_cells(&cells, jobs);
+        let snaps = e.metrics_snapshots();
+        assert_eq!(snaps.len(), reference_snaps.len(), "jobs={jobs}");
+        for ((label_a, a), (label_b, b)) in reference_snaps.iter().zip(&snaps) {
+            assert_eq!(label_a, label_b, "jobs={jobs}: snapshot ordering");
+            assert_eq!(a, b, "jobs={jobs}: {label_a} snapshot must not drift");
+            assert_eq!(a.to_json(), b.to_json(), "jobs={jobs}: {label_a} JSON");
+        }
+    }
+}
+
+#[test]
+fn collecting_metrics_does_not_perturb_simulation_metrics() {
+    let (scheme, policy) = (SchemeChoice::Simple, CachePolicy::Lru(10));
+    let mut plain = Evaluation::new(tiny());
+    let mut observed = Evaluation::new(tiny());
+    observed.set_collect_metrics(true);
+    assert_eq!(
+        plain.cell(scheme, policy),
+        observed.cell(scheme, policy),
+        "attaching the registry must be behavior-neutral"
+    );
+}
+
+#[test]
 fn memoized_key_matches_hash_of_rendered_text() {
     let corpus = Corpus::generate(CorpusConfig {
         articles: 200,

@@ -111,4 +111,82 @@ proptest! {
         prop_assert_eq!(q.root().axis(), Axis::Child);
         prop_assert_eq!(q.root_name(), Some("article"));
     }
+
+    /// Following the first generalization repeatedly always terminates
+    /// (size strictly decreases), and every step covers its predecessor —
+    /// the property search's recovery loop relies on (§V).
+    #[test]
+    fn generalization_chains_terminate(q in arb_query()) {
+        let bound = q.size();
+        let mut current = q;
+        let mut steps = 0usize;
+        while let Some(g) = current.generalizations().into_iter().next() {
+            prop_assert!(g.size() < current.size(), "size must strictly decrease");
+            prop_assert!(g.covers(&current), "a generalization covers its origin");
+            current = g;
+            steps += 1;
+            prop_assert!(steps <= bound, "chain longer than the size bound");
+        }
+        prop_assert!(current.generalizations().is_empty());
+    }
+
+    /// Breadth-first exploration of *all* generalizations (the shape of
+    /// the search's recovery frontier) visits finitely many queries.
+    #[test]
+    fn generalization_frontier_is_finite(q in arb_query()) {
+        use std::collections::{HashSet, VecDeque};
+        let mut seen: HashSet<Query> = HashSet::new();
+        let mut frontier: VecDeque<Query> = q.generalizations().into();
+        let limit = 1usize << q.size().min(12);
+        while let Some(g) = frontier.pop_front() {
+            if !seen.insert(g.clone()) {
+                continue;
+            }
+            prop_assert!(g.covers(&q));
+            prop_assert!(seen.len() <= limit, "frontier blew past the 2^size bound");
+            frontier.extend(g.generalizations());
+        }
+    }
+}
+
+/// Deterministic companions for the chain properties, on hand-picked
+/// queries spanning one to three predicate branches.
+#[test]
+fn generalization_chain_terminates_on_fixed_queries() {
+    for text in [
+        "/article/year/1999",
+        "/article[author[first/John][last/Smith]]",
+        "/article[conf/SIGCOMM][year/1989][title/TCP]",
+    ] {
+        let q = parse_query(text).expect("fixed query parses");
+        let bound = q.size();
+        let mut current = q;
+        let mut steps = 0usize;
+        while let Some(g) = current.generalizations().into_iter().next() {
+            assert!(g.size() < current.size(), "{text}: size must shrink");
+            assert!(g.covers(&current), "{text}: covering violated");
+            current = g;
+            steps += 1;
+            assert!(steps <= bound, "{text}: chain did not terminate");
+        }
+        assert!(current.generalizations().is_empty(), "{text}");
+    }
+}
+
+#[test]
+fn generalization_frontier_is_finite_on_fixed_query() {
+    use std::collections::{HashSet, VecDeque};
+    let q = parse_query("/article[author[first/John][last/Smith]][year/1989]")
+        .expect("fixed query parses");
+    let mut seen: HashSet<Query> = HashSet::new();
+    let mut frontier: VecDeque<Query> = q.generalizations().into();
+    while let Some(g) = frontier.pop_front() {
+        if !seen.insert(g.clone()) {
+            continue;
+        }
+        assert!(g.covers(&q));
+        assert!(seen.len() <= 4096, "frontier must stay finite");
+        frontier.extend(g.generalizations());
+    }
+    assert!(!seen.is_empty(), "a predicated query must generalize");
 }
