@@ -179,6 +179,13 @@ impl DhtResponse {
 /// the index layer programs against. [`DhtError::is_transient`] separates
 /// faults worth retrying (a lost message) from structural conditions that a
 /// retry cannot fix.
+///
+/// Each variant has a stable wire code (see [`DhtError::wire_code`]) so
+/// the error surface can cross process boundaries; the enum is
+/// `#[non_exhaustive]` and codes this build does not know decode into the
+/// [`DhtError::Unknown`] catch-all instead of a decode failure, so old
+/// clients keep working against newer servers.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DhtError {
     /// The request or response message was lost; the operation may or may
@@ -188,12 +195,47 @@ pub enum DhtError {
     NoLiveNodes,
     /// The responsible node refused the write for lack of space.
     StorageFull,
+    /// An error code from a newer peer that this build cannot interpret.
+    /// Carries the raw wire code so it can be logged and re-encoded
+    /// losslessly.
+    Unknown(u16),
 }
 
 impl DhtError {
+    /// Wire code of [`DhtError::Timeout`].
+    pub const CODE_TIMEOUT: u16 = 1;
+    /// Wire code of [`DhtError::NoLiveNodes`].
+    pub const CODE_NO_LIVE_NODES: u16 = 2;
+    /// Wire code of [`DhtError::StorageFull`].
+    pub const CODE_STORAGE_FULL: u16 = 3;
+
     /// `true` for faults a retry may fix (currently only [`DhtError::Timeout`]).
+    /// Unknown codes are treated as permanent: retrying an error we cannot
+    /// interpret risks spinning against a structural condition.
     pub fn is_transient(&self) -> bool {
         matches!(self, DhtError::Timeout)
+    }
+
+    /// The stable 16-bit code this error travels as on the wire.
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            DhtError::Timeout => Self::CODE_TIMEOUT,
+            DhtError::NoLiveNodes => Self::CODE_NO_LIVE_NODES,
+            DhtError::StorageFull => Self::CODE_STORAGE_FULL,
+            DhtError::Unknown(code) => *code,
+        }
+    }
+
+    /// Decodes a wire code; codes this build does not know become
+    /// [`DhtError::Unknown`] (never a failure), so the codec stays
+    /// forward-compatible with future error variants.
+    pub fn from_wire_code(code: u16) -> DhtError {
+        match code {
+            Self::CODE_TIMEOUT => DhtError::Timeout,
+            Self::CODE_NO_LIVE_NODES => DhtError::NoLiveNodes,
+            Self::CODE_STORAGE_FULL => DhtError::StorageFull,
+            other => DhtError::Unknown(other),
+        }
     }
 }
 
@@ -203,6 +245,7 @@ impl fmt::Display for DhtError {
             DhtError::Timeout => write!(f, "operation timed out (message lost)"),
             DhtError::NoLiveNodes => write!(f, "no live nodes in the network"),
             DhtError::StorageFull => write!(f, "responsible node storage full"),
+            DhtError::Unknown(code) => write!(f, "unrecognized error code {code} from peer"),
         }
     }
 }
@@ -397,7 +440,23 @@ mod tests {
         assert!(DhtError::Timeout.is_transient());
         assert!(!DhtError::NoLiveNodes.is_transient());
         assert!(!DhtError::StorageFull.is_transient());
+        assert!(!DhtError::Unknown(42).is_transient());
         assert!(DhtError::Timeout.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn wire_codes_are_stable_and_forward_compatible() {
+        // Pinned codes: changing any of these breaks deployed peers.
+        assert_eq!(DhtError::Timeout.wire_code(), 1);
+        assert_eq!(DhtError::NoLiveNodes.wire_code(), 2);
+        assert_eq!(DhtError::StorageFull.wire_code(), 3);
+        for code in [1u16, 2, 3] {
+            assert_eq!(DhtError::from_wire_code(code).wire_code(), code);
+        }
+        // Unknown codes survive a decode/encode roundtrip losslessly.
+        assert_eq!(DhtError::from_wire_code(999), DhtError::Unknown(999));
+        assert_eq!(DhtError::Unknown(999).wire_code(), 999);
+        assert!(DhtError::Unknown(999).to_string().contains("999"));
     }
 
     #[test]

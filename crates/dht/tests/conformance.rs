@@ -1,18 +1,26 @@
 //! Shared trait-conformance suite, instantiated for every substrate.
 //!
 //! The index layer is written against [`Dht`] alone, so each substrate —
-//! Chord, Kademlia, Pastry, and the plain ring — must agree on the
-//! observable contract: multi-value registration, duplicate suppression,
-//! removal of one value among several, `node_for` consistency with
-//! `nodes()`, and the message-accounting promise that one RPC
-//! request/response pair counts as two messages. Every check drives the
-//! substrate through the fallible [`Dht::execute`] entry point.
+//! Chord, Kademlia, Pastry, the plain ring, and the TCP-backed remote
+//! cluster — must agree on the observable contract: multi-value
+//! registration, duplicate suppression, removal of one value among
+//! several, `node_for` consistency with `nodes()`, and the
+//! message-accounting promise that one RPC request/response pair counts
+//! as two messages. Every check drives the substrate through the
+//! fallible [`Dht::execute`] entry point.
+//!
+//! The `remote` entry is an in-process loopback cluster of real `dhtd`
+//! servers (one per node) fronted by a `RemoteDht` client — the same
+//! code path the multi-process harness exercises, minus the processes —
+//! so "a TCP cluster behaves like an in-process substrate" is pinned
+//! here, not just asserted in the net crate's own tests.
 
 use bytes::Bytes;
 use p2p_index_dht::{
     ChordNetwork, Dht, DhtError, DhtOp, DhtResponse, FaultConfig, FaultyDht, KademliaNetwork, Key,
     NodeChurn, PastryNetwork, RingDht,
 };
+use p2p_index_net::{ClusterDht, RemoteDht, RemoteDhtConfig};
 use p2p_index_obs::MetricsRegistry;
 
 fn keys(n: usize) -> Vec<Key> {
@@ -31,6 +39,10 @@ fn substrates(n: usize) -> Vec<(&'static str, Box<dyn Dht>)> {
         (
             "pastry",
             Box::new(PastryNetwork::with_perfect_tables(keys(n))),
+        ),
+        (
+            "remote",
+            Box::new(ClusterDht::start_ring(n).expect("loopback cluster binds")),
         ),
     ]
 }
@@ -270,6 +282,46 @@ fn metrics_survive_faulty_retries() {
 }
 
 #[test]
+fn remote_cluster_conforms_with_faulty_substrate_behind_the_server() {
+    // The fault injector sits *behind* the server: injected DhtErrors
+    // travel the wire as typed error frames and the remote client's
+    // caller retries them exactly as it would retry a local FaultyDht.
+    // The seed is fixed, so the fault schedule is reproducible.
+    let mut dht = ClusterDht::start_lossy_ring(1, 7, 0.4).expect("loopback cluster binds");
+    let key = Key::hash_of("retried");
+    let mut timeouts = 0u64;
+    for value in ["a", "b", "c"] {
+        loop {
+            match dht.execute(DhtOp::Put {
+                key,
+                value: Bytes::from(value),
+            }) {
+                Ok(_) => break,
+                Err(DhtError::Timeout) => timeouts += 1,
+                Err(e) => panic!("remote-faulty: unexpected error {e}"),
+            }
+        }
+    }
+    assert!(
+        timeouts > 0,
+        "loss 0.4 must surface remote faults over the wire"
+    );
+    assert_eq!(
+        sorted(exec_get(&mut dht, key)),
+        vec![
+            Bytes::from_static(b"a"),
+            Bytes::from_static(b"b"),
+            Bytes::from_static(b"c")
+        ],
+        "remote-faulty: retried puts must all land exactly once"
+    );
+    // Accounting: only the terminal RPCs that got a response count; each
+    // counted pair is two messages, same as every in-process substrate.
+    let stats = dht.stats();
+    assert_eq!(stats.messages, 2 * (3 + timeouts + 1));
+}
+
+#[test]
 fn detached_registry_records_nothing() {
     for (name, mut dht) in substrates(4) {
         let key = Key::hash_of("silent");
@@ -292,6 +344,10 @@ fn empty_network_reports_no_live_nodes() {
         ("chord", Box::new(ChordNetwork::new())),
         ("kademlia", Box::new(KademliaNetwork::new())),
         ("pastry", Box::new(PastryNetwork::new())),
+        (
+            "remote",
+            Box::new(RemoteDht::connect(Vec::new(), RemoteDhtConfig::default())),
+        ),
     ];
     for (name, mut dht) in empties {
         for op in [

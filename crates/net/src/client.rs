@@ -1,0 +1,418 @@
+//! [`RemoteDht`]: the [`Dht`] trait over real TCP sockets.
+//!
+//! The client holds the cluster membership (node id → address) and routes
+//! exactly like [`RingDht`](p2p_index_dht::RingDht): the node responsible
+//! for a key is its clockwise successor on the identifier circle, resolved
+//! with one local `BTreeMap::range` lookup. Only storage operations (put /
+//! get / remove) cross the wire — `NodeFor` is answered locally at zero
+//! message cost, mirroring the in-process substrates — so a cluster of
+//! single-node servers named `node-0..n-1` produces results and message
+//! counts identical to an in-process `RingDht::with_named_nodes(n)`.
+//!
+//! # Error mapping
+//!
+//! Remote [`DhtError`]s travel the wire as stable codes and surface
+//! unchanged. Transport failures — connect refused, socket timeout, short
+//! read, malformed reply, response-id mismatch — all map to
+//! [`DhtError::Timeout`], the transient variant, so the index layer's
+//! existing `RetryPolicy` retries them without knowing sockets exist. A
+//! failed connection is dropped from the pool and redialed on the next
+//! call.
+//!
+//! # Accounting
+//!
+//! The `messages` counter increments by 2 for every request/response frame
+//! pair that completes (the RPC-pair convention pinned in the conformance
+//! suite); `lookups` increments for successful put/get, matching
+//! `RingDht`. Transport failures count nothing — no response arrived, so
+//! no pair completed. `net.*` metrics additionally count raw frames and
+//! bytes, which is what lets the multi-process harness cross-check
+//! `net.frames_out + net.frames_in == dht.messages`.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use p2p_index_dht::{self as dht_api, Dht, DhtError, DhtOp, DhtResponse, DhtStats, Key, NodeId};
+use p2p_index_obs::MetricsRegistry;
+
+use crate::wire::{read_message, write_message, Message, RecvError};
+
+/// Tuning knobs for a [`RemoteDht`] client.
+#[derive(Debug, Clone)]
+pub struct RemoteDhtConfig {
+    /// Timeout for dialing a member.
+    pub connect_timeout: Duration,
+    /// Socket read timeout — bounds how long one RPC can stall.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for RemoteDhtConfig {
+    fn default() -> Self {
+        RemoteDhtConfig {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One cluster member: a pooled connection to a `dhtd` server, keyed by
+/// the node identifier it serves.
+struct Member {
+    id: NodeId,
+    addr: SocketAddr,
+    /// Lazily-dialed pooled connection; poisoned-on-failure (dropped and
+    /// redialed on the next call).
+    conn: Mutex<Option<TcpStream>>,
+}
+
+/// A transport-level failure: no response frame arrived. Distinct from a
+/// remote [`DhtError`], which is a *successful* RPC reporting a fault.
+struct Transport;
+
+/// A DHT client speaking the `crates/net` wire protocol to a cluster of
+/// `dhtd` servers, implementing the same [`Dht`] trait the in-process
+/// substrates do — `IndexService`, retry policies, and metrics all run
+/// unchanged over real sockets.
+pub struct RemoteDht {
+    /// Node position → member, ordered around the identifier circle so
+    /// `range(key..)` resolves the clockwise successor, as in `RingDht`.
+    members: BTreeMap<Key, Member>,
+    config: RemoteDhtConfig,
+    next_request_id: AtomicU64,
+    lookups: AtomicU64,
+    messages: AtomicU64,
+    metrics: MetricsRegistry,
+}
+
+impl RemoteDht {
+    /// Creates a client for the given `(node id, address)` members.
+    /// Connections are dialed lazily on first use, so constructing a
+    /// client never blocks; an empty member list yields a valid client
+    /// whose operations report [`DhtError::NoLiveNodes`].
+    pub fn connect(members: Vec<(NodeId, SocketAddr)>, config: RemoteDhtConfig) -> RemoteDht {
+        let members = members
+            .into_iter()
+            .map(|(id, addr)| {
+                (
+                    *id.key(),
+                    Member {
+                        id,
+                        addr,
+                        conn: Mutex::new(None),
+                    },
+                )
+            })
+            .collect();
+        RemoteDht {
+            members,
+            config,
+            next_request_id: AtomicU64::new(1),
+            lookups: AtomicU64::new(0),
+            messages: AtomicU64::new(0),
+            metrics: MetricsRegistry::disabled(),
+        }
+    }
+
+    /// Maps addresses to the standard experiment node naming: the `i`-th
+    /// address serves `NodeId::hash_of("node-{i}")` — the same identifiers
+    /// `RingDht::with_named_nodes` uses, which is what makes remote and
+    /// in-process runs comparable.
+    pub fn named_members(addrs: &[SocketAddr]) -> Vec<(NodeId, SocketAddr)> {
+        addrs
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| (NodeId::hash_of(&format!("node-{i}")), *addr))
+            .collect()
+    }
+
+    /// The configured members as `(id, addr)`, in ring order.
+    pub fn members(&self) -> Vec<(NodeId, SocketAddr)> {
+        self.members.values().map(|m| (m.id, m.addr)).collect()
+    }
+
+    /// Sends a shutdown frame to every member, telling each `dhtd` to stop
+    /// gracefully. Dial or write failures are ignored: an unreachable
+    /// server needs no shutdown.
+    pub fn shutdown_members(&self) {
+        for member in self.members.values() {
+            let mut slot = member.conn.lock().expect("connection pool poisoned");
+            let stream = match slot.take() {
+                Some(stream) => Some(stream),
+                None => self.dial(member.addr).ok(),
+            };
+            if let Some(mut stream) = stream {
+                let _ = write_message(&mut stream, &Message::Shutdown);
+            }
+        }
+    }
+
+    /// The clockwise successor of `key` among the members, or `None` when
+    /// the member list is empty. Identical placement to `RingDht::owner`.
+    fn owner_key(&self, key: &Key) -> Option<Key> {
+        self.members
+            .range(*key..)
+            .next()
+            .or_else(|| self.members.iter().next())
+            .map(|(k, _)| *k)
+    }
+
+    fn dial(&self, addr: SocketAddr) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// One RPC round-trip against `member`. The outer `Err(Transport)`
+    /// means no response frame arrived (and the pooled connection was
+    /// dropped); the inner result is whatever the server answered.
+    fn call(&self, member: &Member, op: DhtOp) -> Result<Result<DhtResponse, DhtError>, Transport> {
+        let mut slot = member.conn.lock().expect("connection pool poisoned");
+        if slot.is_none() {
+            match self.dial(member.addr) {
+                Ok(stream) => *slot = Some(stream),
+                Err(_) => {
+                    self.metrics.incr("net.connect_errors");
+                    return Err(Transport);
+                }
+            }
+        }
+        let stream = slot.as_mut().expect("connection just ensured");
+        let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let sent = match write_message(stream, &Message::Request { id, op }) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.metrics.incr("net.transport_errors");
+                *slot = None;
+                return Err(Transport);
+            }
+        };
+        self.metrics.incr("net.frames_out");
+        self.metrics.add("net.bytes_out", sent as u64);
+        let (reply, received) = match read_message(stream) {
+            Ok(ok) => ok,
+            Err(RecvError::Closed) | Err(RecvError::Io(_)) => {
+                self.metrics.incr("net.transport_errors");
+                *slot = None;
+                return Err(Transport);
+            }
+            Err(RecvError::Wire(_)) => {
+                self.metrics.incr("net.decode_errors");
+                *slot = None;
+                return Err(Transport);
+            }
+        };
+        self.metrics.incr("net.frames_in");
+        self.metrics.add("net.bytes_in", received as u64);
+        match reply {
+            Message::Response {
+                id: reply_id,
+                result,
+            } if reply_id == id => {
+                self.metrics
+                    .observe("net.rpc_micros", started.elapsed().as_micros() as u64);
+                Ok(result)
+            }
+            // A mismatched id or an unexpected message kind means the
+            // stream is out of sync; drop it rather than guess.
+            _ => {
+                self.metrics.incr("net.decode_errors");
+                *slot = None;
+                Err(Transport)
+            }
+        }
+    }
+
+    /// Routes a storage op to the responsible member and applies the
+    /// ring accounting convention: +2 messages per completed RPC pair,
+    /// +1 lookup for successful put/get.
+    fn remote_op(&self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        let kind = op.kind();
+        let owner = self.owner_key(op.key()).ok_or(DhtError::NoLiveNodes)?;
+        let member = &self.members[&owner];
+        self.metrics.incr(&format!("net.ops.{kind}"));
+        match self.call(member, op) {
+            Ok(result) => {
+                self.messages.fetch_add(2, Ordering::Relaxed);
+                if result.is_ok() && matches!(kind, "put" | "get") {
+                    self.lookups.fetch_add(1, Ordering::Relaxed);
+                }
+                result
+            }
+            Err(Transport) => Err(DhtError::Timeout),
+        }
+    }
+
+    fn execute_inner(&self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        if self.members.is_empty() {
+            return Err(DhtError::NoLiveNodes);
+        }
+        match op {
+            DhtOp::NodeFor(key) => {
+                let owner = self.owner_key(&key).expect("non-empty member list");
+                Ok(DhtResponse::Node(self.members[&owner].id))
+            }
+            op => self.remote_op(op),
+        }
+    }
+}
+
+impl Dht for RemoteDht {
+    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        if !self.metrics.is_enabled() {
+            return self.execute_inner(op);
+        }
+        let kind = op.kind();
+        let before = self.stats();
+        let result = self.execute_inner(op);
+        dht_api::record_op(&self.metrics, kind, before, self.stats(), &result);
+        result
+    }
+
+    fn node_for(&self, key: &Key) -> Option<NodeId> {
+        self.owner_key(key).map(|k| self.members[&k].id)
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        self.members.values().map(|m| m.id).collect()
+    }
+
+    fn get(&self, key: &Key) -> Vec<Bytes> {
+        if self.members.is_empty() {
+            return Vec::new();
+        }
+        match self.remote_op(DhtOp::Get(*key)) {
+            Ok(response) => response.into_values(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn stats(&self) -> DhtStats {
+        DhtStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hops: 0,
+        }
+    }
+
+    fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
+    }
+
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{DhtServer, ServerConfig};
+    use p2p_index_dht::RingDht;
+
+    fn free_addr() -> SocketAddr {
+        // Bind then drop: the port is free again immediately after, giving
+        // a loopback address that refuses connections.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    }
+
+    #[test]
+    fn empty_member_list_reports_no_live_nodes() {
+        let mut remote = RemoteDht::connect(Vec::new(), RemoteDhtConfig::default());
+        assert!(remote.is_empty());
+        assert_eq!(
+            remote.execute(DhtOp::Get(Key::hash_of("k"))),
+            Err(DhtError::NoLiveNodes)
+        );
+        assert_eq!(remote.node_for(&Key::hash_of("k")), None);
+        assert!(Dht::get(&remote, &Key::hash_of("k")).is_empty());
+    }
+
+    #[test]
+    fn connect_refused_maps_to_transient_timeout() {
+        let mut remote = RemoteDht::connect(
+            vec![(NodeId::hash_of("node-0"), free_addr())],
+            RemoteDhtConfig {
+                connect_timeout: Duration::from_millis(200),
+                ..RemoteDhtConfig::default()
+            },
+        );
+        let err = remote
+            .execute(DhtOp::Get(Key::hash_of("k")))
+            .expect_err("nobody is listening");
+        assert_eq!(err, DhtError::Timeout);
+        assert!(err.is_transient(), "transport faults must be retriable");
+        // No response frame arrived, so no RPC pair completed.
+        assert_eq!(remote.stats().messages, 0);
+    }
+
+    #[test]
+    fn node_for_is_local_and_free() {
+        let server = DhtServer::spawn(
+            Box::new(RingDht::with_named_nodes(1)),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut remote = RemoteDht::connect(
+            RemoteDht::named_members(&[server.local_addr()]),
+            RemoteDhtConfig::default(),
+        );
+        let resolved = remote
+            .execute(DhtOp::NodeFor(Key::hash_of("anything")))
+            .unwrap();
+        assert_eq!(resolved, DhtResponse::Node(NodeId::hash_of("node-0")));
+        assert_eq!(remote.stats().messages, 0, "NodeFor never hits the wire");
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_accounting_matches_in_process_ring() {
+        let ids: Vec<Key> = (0..3).map(|i| Key::hash_of(&format!("node-{i}"))).collect();
+        let servers: Vec<DhtServer> = ids
+            .iter()
+            .map(|id| {
+                DhtServer::spawn(
+                    Box::new(RingDht::from_ids([*id])),
+                    "127.0.0.1:0",
+                    ServerConfig::default(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let members: Vec<(NodeId, SocketAddr)> = ids
+            .iter()
+            .zip(&servers)
+            .map(|(id, s)| (NodeId::from_key(*id), s.local_addr()))
+            .collect();
+        let mut remote = RemoteDht::connect(members, RemoteDhtConfig::default());
+        let mut ring = RingDht::from_ids(ids);
+
+        for i in 0..20 {
+            let key = Key::hash_of(&format!("item-{i}"));
+            let value = Bytes::from(format!("value-{i}"));
+            assert_eq!(remote.put(key, value.clone()), ring.put(key, value));
+        }
+        for i in 0..20 {
+            let key = Key::hash_of(&format!("item-{i}"));
+            assert_eq!(Dht::get(&remote, &key), Dht::get(&ring, &key), "item {i}");
+            assert_eq!(remote.node_for(&key), ring.node_for(&key));
+        }
+        assert!(remote.remove(&Key::hash_of("item-0"), b"value-0"));
+        assert!(ring.remove(&Key::hash_of("item-0"), b"value-0"));
+
+        assert_eq!(remote.stats(), ring.stats(), "accounting must be identical");
+        remote.shutdown_members();
+    }
+}

@@ -1,0 +1,208 @@
+//! In-process loopback clusters for tests and benches.
+//!
+//! [`LoopbackCluster`] spins up N [`DhtServer`]s in the current process —
+//! one per node, each owning a single-node substrate partition, all bound
+//! to ephemeral loopback ports — and hands out [`RemoteDht`] clients over
+//! them. [`ClusterDht`] bundles one client with the servers it talks to
+//! behind the [`Dht`] trait, shutting the whole cluster down on drop;
+//! that is what lets the shared conformance suite treat "a TCP cluster"
+//! as just another substrate.
+//!
+//! The *multi-process* variant (separate `dhtd` processes via `repro
+//! serve`) lives in the sim crate's integration harness; this module is
+//! the single-process fast path.
+
+use std::io;
+use std::net::SocketAddr;
+
+use bytes::Bytes;
+use p2p_index_dht::{
+    Dht, DhtError, DhtOp, DhtResponse, DhtStats, FaultConfig, FaultyDht, Key, NodeId, RingDht,
+};
+use p2p_index_obs::MetricsRegistry;
+
+use crate::client::{RemoteDht, RemoteDhtConfig};
+use crate::server::{DhtServer, ServerConfig};
+
+/// A set of in-process `dhtd` servers, one per node, on loopback.
+pub struct LoopbackCluster {
+    servers: Vec<DhtServer>,
+    members: Vec<(NodeId, SocketAddr)>,
+}
+
+impl LoopbackCluster {
+    /// Starts `n` servers named `node-0..n-1`, each serving its single-node
+    /// partition of a ring — collectively equivalent to
+    /// `RingDht::with_named_nodes(n)` when fronted by a [`RemoteDht`].
+    pub fn start_ring(n: usize) -> io::Result<LoopbackCluster> {
+        Self::start_with(n, |id| Box::new(RingDht::from_ids([*id.key()])))
+    }
+
+    /// Starts `n` servers whose substrates are wrapped in a fault
+    /// injector, so remote callers observe injected [`DhtError`]s over
+    /// the wire. Each node gets a distinct deterministic seed derived
+    /// from `seed` so runs are reproducible.
+    pub fn start_lossy_ring(n: usize, seed: u64, loss: f64) -> io::Result<LoopbackCluster> {
+        Self::start_with(n, |id| {
+            let node_seed = seed ^ id.key().low_u64();
+            Box::new(FaultyDht::new(
+                RingDht::from_ids([*id.key()]),
+                FaultConfig::lossy(node_seed, loss),
+            ))
+        })
+    }
+
+    /// Starts `n` servers with substrates built by `make`, one per node id
+    /// `node-0..n-1`.
+    pub fn start_with(
+        n: usize,
+        make: impl Fn(NodeId) -> Box<dyn Dht + Send>,
+    ) -> io::Result<LoopbackCluster> {
+        let mut servers = Vec::with_capacity(n);
+        let mut members = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = NodeId::hash_of(&format!("node-{i}"));
+            let server = DhtServer::spawn(make(id), "127.0.0.1:0", ServerConfig::default())?;
+            members.push((id, server.local_addr()));
+            servers.push(server);
+        }
+        Ok(LoopbackCluster { servers, members })
+    }
+
+    /// The `(node id, address)` member list, in start order.
+    pub fn members(&self) -> &[(NodeId, SocketAddr)] {
+        &self.members
+    }
+
+    /// A fresh client over every member.
+    pub fn client(&self) -> RemoteDht {
+        self.client_with(RemoteDhtConfig::default())
+    }
+
+    /// A fresh client with explicit transport configuration.
+    pub fn client_with(&self, config: RemoteDhtConfig) -> RemoteDht {
+        RemoteDht::connect(self.members.clone(), config)
+    }
+
+    /// Total operations answered across all servers.
+    pub fn ops_served(&self) -> u64 {
+        self.servers.iter().map(DhtServer::ops_served).sum()
+    }
+
+    /// Shuts every server down, joining their threads.
+    pub fn shutdown(self) {
+        for server in self.servers {
+            server.shutdown();
+        }
+    }
+}
+
+/// A [`RemoteDht`] bundled with the [`LoopbackCluster`] it talks to,
+/// presented as one [`Dht`] value. Dropping it tears the cluster down,
+/// which is what lets generic test code (the conformance suite) own a
+/// TCP-backed substrate the same way it owns an in-process one.
+pub struct ClusterDht {
+    client: RemoteDht,
+    /// Kept alive for the client's lifetime; drop order (client first,
+    /// servers after) means in-flight requests drain before teardown.
+    cluster: Option<LoopbackCluster>,
+}
+
+impl ClusterDht {
+    /// Starts a ring cluster of `n` nodes and a client over it.
+    pub fn start_ring(n: usize) -> io::Result<ClusterDht> {
+        let cluster = LoopbackCluster::start_ring(n)?;
+        let client = cluster.client();
+        Ok(ClusterDht {
+            client,
+            cluster: Some(cluster),
+        })
+    }
+
+    /// Starts a fault-injecting ring cluster (see
+    /// [`LoopbackCluster::start_lossy_ring`]) and a client over it.
+    pub fn start_lossy_ring(n: usize, seed: u64, loss: f64) -> io::Result<ClusterDht> {
+        let cluster = LoopbackCluster::start_lossy_ring(n, seed, loss)?;
+        let client = cluster.client();
+        Ok(ClusterDht {
+            client,
+            cluster: Some(cluster),
+        })
+    }
+
+    /// The underlying client.
+    pub fn client(&self) -> &RemoteDht {
+        &self.client
+    }
+}
+
+impl Dht for ClusterDht {
+    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        self.client.execute(op)
+    }
+
+    fn node_for(&self, key: &Key) -> Option<NodeId> {
+        self.client.node_for(key)
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        self.client.nodes()
+    }
+
+    fn get(&self, key: &Key) -> Vec<Bytes> {
+        self.client.get(key)
+    }
+
+    fn stats(&self) -> DhtStats {
+        self.client.stats()
+    }
+
+    fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.client.set_metrics(metrics);
+    }
+
+    fn len(&self) -> usize {
+        self.client.len()
+    }
+}
+
+impl Drop for ClusterDht {
+    fn drop(&mut self) {
+        if let Some(cluster) = self.cluster.take() {
+            cluster.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_matches_in_process_ring() {
+        let mut cluster = ClusterDht::start_ring(5).expect("loopback cluster");
+        let mut ring = RingDht::with_named_nodes(5);
+        assert_eq!(cluster.nodes(), ring.nodes());
+        for i in 0..30 {
+            let key = Key::hash_of(&format!("k{i}"));
+            let value = Bytes::from(format!("v{i}"));
+            assert_eq!(cluster.put(key, value.clone()), ring.put(key, value));
+            assert_eq!(Dht::get(&cluster, &key), Dht::get(&ring, &key));
+        }
+        assert_eq!(cluster.stats(), ring.stats());
+    }
+
+    #[test]
+    fn lossy_cluster_surfaces_remote_faults_as_typed_errors() {
+        let mut cluster = ClusterDht::start_lossy_ring(3, 42, 1.0).expect("loopback cluster");
+        // Loss probability 1.0: every storage op must fail with a *remote*
+        // DhtError carried over the wire (not a transport failure).
+        let err = cluster
+            .execute(DhtOp::Put {
+                key: Key::hash_of("k"),
+                value: Bytes::from_static(b"v"),
+            })
+            .expect_err("fault injector drops everything");
+        assert_eq!(err, DhtError::Timeout);
+    }
+}

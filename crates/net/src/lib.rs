@@ -1,0 +1,40 @@
+//! Wire protocol and networked DHT nodes for the p2p-index stack.
+//!
+//! Everything below the index layer so far has been in-process: the
+//! substrates in `crates/dht` simulate a network by counting messages.
+//! This crate makes the network real while keeping the simulation exact:
+//!
+//! - [`wire`] — a versioned, length-prefixed binary codec for every
+//!   [`DhtOp`](p2p_index_dht::DhtOp) /
+//!   [`DhtResponse`](p2p_index_dht::DhtResponse) /
+//!   [`DhtError`](p2p_index_dht::DhtError), with request ids for
+//!   pipelining and strict typed rejection of malformed frames. The frame
+//!   format is specified byte-by-byte in `DESIGN.md` §11.
+//! - [`server`] — [`DhtServer`], the threaded `dhtd` daemon: an accept
+//!   loop plus per-connection worker threads serving one node's storage
+//!   partition of any substrate. Exposed as `repro serve`.
+//! - [`client`] — [`RemoteDht`], the [`Dht`](p2p_index_dht::Dht) trait
+//!   over pooled TCP connections. Transport failures map to the transient
+//!   [`DhtError::Timeout`](p2p_index_dht::DhtError::Timeout), so
+//!   `IndexService`'s retry policy and the whole indexing stack run
+//!   unchanged over real sockets.
+//! - [`cluster`] — in-process loopback clusters for tests and benches;
+//!   the multi-process harness lives in the sim crate.
+//!
+//! The crate is plain `std` — TCP sockets, threads, atomics — with zero
+//! new external dependencies, so networking never changes what the
+//! simulation builds against. All deterministic paper experiments remain
+//! in-process and byte-identical; the network is strictly additive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod server;
+pub mod wire;
+
+pub use client::{RemoteDht, RemoteDhtConfig};
+pub use cluster::{ClusterDht, LoopbackCluster};
+pub use server::{DhtServer, ServerConfig};
+pub use wire::{Message, RecvError, WireError, MAX_PAYLOAD, VERSION};

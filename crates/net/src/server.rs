@@ -1,0 +1,352 @@
+//! The threaded `dhtd` server: one node's storage partition over TCP.
+//!
+//! [`DhtServer::spawn`] binds a listener (port 0 for an ephemeral port),
+//! starts an accept loop on its own thread, and serves every connection on
+//! a dedicated worker thread — plain `std::thread`, no async runtime, no
+//! new dependencies. Each worker reads request frames, executes them
+//! against the shared substrate under a mutex (substrates are small,
+//! synchronous state machines; the lock is held only for the in-memory
+//! operation, never across I/O), and writes the response frame back with
+//! the echoed request id.
+//!
+//! Shutdown is graceful and reachable two ways: locally via
+//! [`DhtServer::shutdown`], or over the wire with a
+//! [`Message::Shutdown`](crate::wire::Message::Shutdown) frame (what the
+//! multi-process harness sends its children). Either path stops the
+//! accept loop, lets in-flight requests finish, and joins every worker.
+//!
+//! Per-connection read timeouts double as the shutdown poll interval: a
+//! worker blocked in `read` wakes at least every `read_timeout` to check
+//! the flag, so shutdown latency is bounded without extra machinery.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use p2p_index_dht::Dht;
+use p2p_index_obs::MetricsRegistry;
+
+use crate::wire::{read_message, write_message, Message, RecvError};
+
+/// Tuning knobs for a [`DhtServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-connection socket read timeout. Also bounds how long a worker
+    /// can go without checking the shutdown flag.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// How often the accept loop polls for shutdown between connections.
+    pub accept_poll: Duration,
+    /// Metrics sink for the `net.server.*` series (disabled by default).
+    pub metrics: MetricsRegistry,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(2),
+            accept_poll: Duration::from_millis(10),
+            metrics: MetricsRegistry::disabled(),
+        }
+    }
+}
+
+/// Shared state between the accept loop and connection workers.
+struct Shared {
+    dht: Mutex<Box<dyn Dht + Send>>,
+    stop: AtomicBool,
+    metrics: MetricsRegistry,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    /// Operations served since spawn (requests answered, ok or error).
+    served: AtomicU64,
+}
+
+/// A running DHT node server. Dropping the handle shuts the server down.
+pub struct DhtServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl DhtServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `dht` — typically a single-node substrate holding this server's
+    /// partition of the key space, optionally wrapped in a fault injector.
+    pub fn spawn(
+        dht: Box<dyn Dht + Send>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<DhtServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            dht: Mutex::new(dht),
+            stop: AtomicBool::new(false),
+            metrics: config.metrics.clone(),
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            served: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let poll = config.accept_poll;
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("dhtd-accept-{}", local_addr.port()))
+            .spawn(move || accept_loop(listener, accept_shared, poll))?;
+        Ok(DhtServer {
+            local_addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address — read this after `port 0` to learn the
+    /// ephemeral port the OS assigned.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Operations answered so far (ok and error responses alike).
+    pub fn ops_served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// `true` once a shutdown (local or wire) has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.stop.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the server shuts down (via a wire shutdown frame or
+    /// another thread calling [`DhtServer::shutdown`]). Used by the
+    /// `repro serve` daemon main.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting, drains in-flight requests, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DhtServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Accepts connections until the stop flag is set, then joins workers.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, poll: Duration) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.metrics.incr("net.server.connections");
+                let conn_shared = Arc::clone(&shared);
+                match std::thread::Builder::new()
+                    .name("dhtd-conn".to_string())
+                    .spawn(move || serve_connection(stream, conn_shared))
+                {
+                    Ok(handle) => workers.push(handle),
+                    Err(_) => shared.metrics.incr("net.server.spawn_errors"),
+                }
+                // Opportunistically reap finished workers so a long-lived
+                // daemon doesn't accumulate handles.
+                workers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(poll);
+            }
+            Err(_) => {
+                shared.metrics.incr("net.server.accept_errors");
+                std::thread::sleep(poll);
+            }
+        }
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+}
+
+/// Serves one connection until the peer closes, a protocol error poisons
+/// the stream, or shutdown is requested.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let (msg, bytes_in) = match read_message(&mut stream) {
+            Ok(ok) => ok,
+            Err(RecvError::Closed) => return,
+            Err(RecvError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle poll tick: loop to re-check the shutdown flag.
+                continue;
+            }
+            Err(RecvError::Io(_)) => {
+                shared.metrics.incr("net.server.transport_errors");
+                return;
+            }
+            Err(RecvError::Wire(_)) => {
+                // Strict rejection: a malformed frame poisons the stream
+                // (framing can no longer be trusted), so the connection is
+                // dropped rather than resynchronized by guesswork.
+                shared.metrics.incr("net.server.decode_errors");
+                return;
+            }
+        };
+        shared.metrics.incr("net.server.frames_in");
+        shared.metrics.add("net.server.bytes_in", bytes_in as u64);
+        match msg {
+            Message::Request { id, op } => {
+                let kind = op.kind();
+                let result = {
+                    let mut dht = shared.dht.lock().expect("server substrate poisoned");
+                    dht.execute(op)
+                };
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.incr(&format!("net.server.ops.{kind}"));
+                if result.is_err() {
+                    shared.metrics.incr("net.server.op_errors");
+                }
+                let reply = Message::Response { id, result };
+                match write_message(&mut stream, &reply) {
+                    Ok(bytes_out) => {
+                        shared.metrics.incr("net.server.frames_out");
+                        shared.metrics.add("net.server.bytes_out", bytes_out as u64);
+                    }
+                    Err(_) => {
+                        shared.metrics.incr("net.server.transport_errors");
+                        return;
+                    }
+                }
+            }
+            Message::Shutdown => {
+                shared.metrics.incr("net.server.shutdowns");
+                shared.stop.store(true, Ordering::SeqCst);
+                return;
+            }
+            Message::Response { .. } => {
+                // Clients must not send responses; treat as protocol abuse.
+                shared.metrics.incr("net.server.decode_errors");
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use p2p_index_dht::{DhtOp, DhtResponse, Key, RingDht};
+
+    fn spawn_ring() -> DhtServer {
+        DhtServer::spawn(
+            Box::new(RingDht::with_named_nodes(1)),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bind loopback")
+    }
+
+    fn call(stream: &mut TcpStream, id: u64, op: DhtOp) -> Message {
+        write_message(stream, &Message::Request { id, op }).unwrap();
+        read_message(stream).unwrap().0
+    }
+
+    #[test]
+    fn serves_put_get_over_tcp() {
+        let server = spawn_ring();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let key = Key::hash_of("k");
+        let reply = call(
+            &mut stream,
+            1,
+            DhtOp::Put {
+                key,
+                value: Bytes::from_static(b"v"),
+            },
+        );
+        assert_eq!(
+            reply,
+            Message::Response {
+                id: 1,
+                result: Ok(DhtResponse::Stored(true))
+            }
+        );
+        let reply = call(&mut stream, 2, DhtOp::Get(key));
+        assert_eq!(
+            reply,
+            Message::Response {
+                id: 2,
+                result: Ok(DhtResponse::Values(vec![Bytes::from_static(b"v")]))
+            }
+        );
+        assert_eq!(server.ops_served(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_drops_the_connection() {
+        let metrics = MetricsRegistry::new();
+        let server = DhtServer::spawn(
+            Box::new(RingDht::with_named_nodes(1)),
+            "127.0.0.1:0",
+            ServerConfig {
+                metrics: metrics.clone(),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        use std::io::{Read, Write};
+        stream.write_all(b"garbage-not-a-frame-at-all").unwrap();
+        stream.flush().unwrap();
+        // Server closes on us without replying.
+        let mut buf = [0u8; 16];
+        assert_eq!(stream.read(&mut buf).unwrap_or(0), 0);
+        assert_eq!(metrics.counter("net.server.decode_errors"), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn wire_shutdown_stops_the_server() {
+        let server = spawn_ring();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_message(&mut stream, &Message::Shutdown).unwrap();
+        // wait() returns because the shutdown frame set the stop flag.
+        server.wait();
+        // The listener is gone: new connections are refused (give the OS a
+        // moment to tear the socket down).
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(TcpStream::connect(addr).is_err());
+    }
+}

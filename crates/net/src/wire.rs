@@ -1,0 +1,622 @@
+//! The versioned binary wire codec: length-prefixed frames over TCP.
+//!
+//! Every message between a [`RemoteDht`](crate::client::RemoteDht) client
+//! and a [`DhtServer`](crate::server::DhtServer) is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------
+//!      0     4  magic        "PDHT"
+//!      4     1  version      0x01
+//!      5     1  kind         0x01 request | 0x02 ok-response |
+//!                            0x03 err-response | 0x04 shutdown
+//!      6     8  request id   big-endian u64 (0 for shutdown)
+//!     14     4  payload len  big-endian u32, <= MAX_PAYLOAD
+//!     18     n  payload      kind-specific, see below
+//! ```
+//!
+//! Request payloads carry one [`DhtOp`]; ok-responses one [`DhtResponse`];
+//! err-responses a 2-byte [`DhtError`] wire code (unknown codes decode into
+//! the forward-compatible [`DhtError::Unknown`] catch-all, *not* a codec
+//! failure). Decoding is strict everywhere else: wrong magic, an
+//! unsupported version, an unknown frame kind or opcode, an oversized
+//! length prefix, a short payload, or trailing payload bytes are all typed
+//! [`WireError`]s — never a panic, never a silent truncation.
+//!
+//! The request id exists for pipelining: a client may have several frames
+//! in flight on one connection and match responses by id. The bundled
+//! [`RemoteDht`](crate::client::RemoteDht) keeps one outstanding request
+//! per pooled connection and still verifies the echoed id.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use bytes::Bytes;
+use p2p_index_dht::{DhtError, DhtOp, DhtResponse, Key, NodeId};
+
+/// The 4-byte magic that opens every frame.
+pub const MAGIC: [u8; 4] = *b"PDHT";
+
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 18;
+
+/// Upper bound on a frame's payload. Index entries are tiny (a query
+/// string or a file handle), so 16 MiB is a generous safety margin that
+/// still stops a corrupt length prefix from asking us to allocate 4 GiB.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+const KIND_REQUEST: u8 = 0x01;
+const KIND_OK: u8 = 0x02;
+const KIND_ERR: u8 = 0x03;
+const KIND_SHUTDOWN: u8 = 0x04;
+
+const OP_NODE_FOR: u8 = 0x01;
+const OP_PUT: u8 = 0x02;
+const OP_GET: u8 = 0x03;
+const OP_REMOVE: u8 = 0x04;
+
+const RESP_NODE: u8 = 0x01;
+const RESP_STORED: u8 = 0x02;
+const RESP_VALUES: u8 = 0x03;
+const RESP_REMOVED: u8 = 0x04;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A client request: execute `op` and answer with the same `id`.
+    Request {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// The operation to execute.
+        op: DhtOp,
+    },
+    /// A server response (ok or error) to the request with the same `id`.
+    Response {
+        /// The id of the request being answered.
+        id: u64,
+        /// The outcome of executing the request's operation.
+        result: Result<DhtResponse, DhtError>,
+    },
+    /// Ask the server to stop accepting, drain its workers, and exit.
+    Shutdown,
+}
+
+/// Why a frame failed to decode. Every malformed input maps to one of
+/// these — decoding never panics and never fabricates a partial message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte named a protocol this build does not speak.
+    UnsupportedVersion(u8),
+    /// The frame kind byte was none of the defined kinds.
+    UnknownKind(u8),
+    /// A request payload used an opcode this build does not know.
+    UnknownOpcode(u8),
+    /// An ok-response payload used a variant tag this build does not know.
+    UnknownResponseTag(u8),
+    /// The length prefix exceeded [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The input ended before the frame did (short header, short payload,
+    /// or a length field pointing past the payload's end).
+    Truncated,
+    /// The payload was longer than its contents: `n` undecoded bytes
+    /// remained after the message was fully read.
+    TrailingBytes(usize),
+    /// A payload field held an impossible value (e.g. a boolean byte that
+    /// was neither 0 nor 1).
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?} (expected {MAGIC:02x?})"),
+            WireError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this build speaks {VERSION})"
+                )
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
+            WireError::UnknownOpcode(o) => write!(f, "unknown request opcode 0x{o:02x}"),
+            WireError::UnknownResponseTag(t) => write!(f, "unknown response tag 0x{t:02x}"),
+            WireError::Oversized(n) => {
+                write!(f, "length prefix {n} exceeds MAX_PAYLOAD {MAX_PAYLOAD}")
+            }
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after payload"),
+            WireError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Why reading a frame from a stream failed: transport vs codec.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The transport failed (timeout, reset, mid-frame EOF).
+    Io(io::Error),
+    /// The bytes arrived but were not a valid frame.
+    Wire(WireError),
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Closed => write!(f, "connection closed"),
+            RecvError::Io(e) => write!(f, "transport error: {e}"),
+            RecvError::Wire(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+impl From<WireError> for RecvError {
+    fn from(e: WireError) -> Self {
+        RecvError::Wire(e)
+    }
+}
+
+/// Appends the encoded frame for `msg` to `buf`.
+pub fn encode_message(msg: &Message, buf: &mut Vec<u8>) {
+    let (kind, id) = match msg {
+        Message::Request { id, .. } => (KIND_REQUEST, *id),
+        Message::Response { id, result } => match result {
+            Ok(_) => (KIND_OK, *id),
+            Err(_) => (KIND_ERR, *id),
+        },
+        Message::Shutdown => (KIND_SHUTDOWN, 0),
+    };
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(kind);
+    buf.extend_from_slice(&id.to_be_bytes());
+    let len_at = buf.len();
+    buf.extend_from_slice(&[0u8; 4]);
+    match msg {
+        Message::Request { op, .. } => encode_op(op, buf),
+        Message::Response { result, .. } => match result {
+            Ok(resp) => encode_response(resp, buf),
+            Err(e) => buf.extend_from_slice(&e.wire_code().to_be_bytes()),
+        },
+        Message::Shutdown => {}
+    }
+    let payload_len = (buf.len() - len_at - 4) as u32;
+    buf[len_at..len_at + 4].copy_from_slice(&payload_len.to_be_bytes());
+}
+
+/// The encoded frame for `msg` as a fresh vector.
+pub fn encode_to_vec(msg: &Message) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + 64);
+    encode_message(msg, &mut buf);
+    buf
+}
+
+fn encode_op(op: &DhtOp, buf: &mut Vec<u8>) {
+    match op {
+        DhtOp::NodeFor(key) => {
+            buf.push(OP_NODE_FOR);
+            buf.extend_from_slice(key.as_bytes());
+        }
+        DhtOp::Put { key, value } => {
+            buf.push(OP_PUT);
+            buf.extend_from_slice(key.as_bytes());
+            encode_bytes(value, buf);
+        }
+        DhtOp::Get(key) => {
+            buf.push(OP_GET);
+            buf.extend_from_slice(key.as_bytes());
+        }
+        DhtOp::Remove { key, value } => {
+            buf.push(OP_REMOVE);
+            buf.extend_from_slice(key.as_bytes());
+            encode_bytes(value, buf);
+        }
+    }
+}
+
+fn encode_response(resp: &DhtResponse, buf: &mut Vec<u8>) {
+    match resp {
+        DhtResponse::Node(node) => {
+            buf.push(RESP_NODE);
+            buf.extend_from_slice(node.key().as_bytes());
+        }
+        DhtResponse::Stored(stored) => {
+            buf.push(RESP_STORED);
+            buf.push(u8::from(*stored));
+        }
+        DhtResponse::Values(values) => {
+            buf.push(RESP_VALUES);
+            buf.extend_from_slice(&(values.len() as u32).to_be_bytes());
+            for v in values {
+                encode_bytes(v, buf);
+            }
+        }
+        DhtResponse::Removed(removed) => {
+            buf.push(RESP_REMOVED);
+            buf.push(u8::from(*removed));
+        }
+    }
+}
+
+fn encode_bytes(value: &Bytes, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(value.len() as u32).to_be_bytes());
+    buf.extend_from_slice(value);
+}
+
+/// A cursor over a payload slice with strict bounds checking.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.at < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn key(&mut self) -> Result<Key, WireError> {
+        let b = self.take(20)?;
+        let mut digest = [0u8; 20];
+        digest.copy_from_slice(b);
+        Ok(Key::from_digest(digest))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::BadPayload("boolean byte must be 0 or 1")),
+        }
+    }
+
+    fn bytes(&mut self) -> Result<Bytes, WireError> {
+        let len = self.u32()? as usize;
+        Ok(Bytes::copy_from_slice(self.take(len)?))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.at != self.buf.len() {
+            return Err(WireError::TrailingBytes(self.buf.len() - self.at));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one frame from the front of `buf`.
+///
+/// Returns the message and the number of bytes consumed. An incomplete
+/// frame (short header or short payload) is [`WireError::Truncated`]; a
+/// complete frame with garbage anywhere is the matching typed error.
+pub fn decode_message(buf: &[u8]) -> Result<(Message, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let magic: [u8; 4] = buf[0..4].try_into().expect("fixed slice");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if buf[4] != VERSION {
+        return Err(WireError::UnsupportedVersion(buf[4]));
+    }
+    let kind = buf[5];
+    let id = u64::from_be_bytes(buf[6..14].try_into().expect("fixed slice"));
+    let payload_len = u32::from_be_bytes(buf[14..18].try_into().expect("fixed slice"));
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(payload_len));
+    }
+    let payload_len = payload_len as usize;
+    if buf.len() - HEADER_LEN < payload_len {
+        return Err(WireError::Truncated);
+    }
+    let payload = &buf[HEADER_LEN..HEADER_LEN + payload_len];
+    let msg = decode_payload(kind, id, payload)?;
+    Ok((msg, HEADER_LEN + payload_len))
+}
+
+fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(payload);
+    let msg = match kind {
+        KIND_REQUEST => {
+            let op = match r.u8()? {
+                OP_NODE_FOR => DhtOp::NodeFor(r.key()?),
+                OP_PUT => DhtOp::Put {
+                    key: r.key()?,
+                    value: r.bytes()?,
+                },
+                OP_GET => DhtOp::Get(r.key()?),
+                OP_REMOVE => DhtOp::Remove {
+                    key: r.key()?,
+                    value: r.bytes()?,
+                },
+                other => return Err(WireError::UnknownOpcode(other)),
+            };
+            Message::Request { id, op }
+        }
+        KIND_OK => {
+            let resp = match r.u8()? {
+                RESP_NODE => DhtResponse::Node(NodeId::from_key(r.key()?)),
+                RESP_STORED => DhtResponse::Stored(r.bool()?),
+                RESP_VALUES => {
+                    let count = r.u32()? as usize;
+                    // Each value costs at least its 4-byte length prefix,
+                    // so an absurd count fails before any allocation.
+                    if count > payload.len() / 4 {
+                        return Err(WireError::Truncated);
+                    }
+                    let mut values = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        values.push(r.bytes()?);
+                    }
+                    DhtResponse::Values(values)
+                }
+                RESP_REMOVED => DhtResponse::Removed(r.bool()?),
+                other => return Err(WireError::UnknownResponseTag(other)),
+            };
+            Message::Response {
+                id,
+                result: Ok(resp),
+            }
+        }
+        KIND_ERR => {
+            // Unknown error codes are forward-compatible by design: they
+            // decode into DhtError::Unknown, not a codec failure.
+            let code = r.u16()?;
+            Message::Response {
+                id,
+                result: Err(DhtError::from_wire_code(code)),
+            }
+        }
+        KIND_SHUTDOWN => Message::Shutdown,
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Writes one frame to `w` and flushes it.
+pub fn write_message(w: &mut impl Write, msg: &Message) -> io::Result<usize> {
+    let buf = encode_to_vec(msg);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(buf.len())
+}
+
+/// Reads exactly one frame from `r`.
+///
+/// A clean EOF before the first header byte is [`RecvError::Closed`]; an
+/// EOF mid-frame is an [`RecvError::Io`] with `UnexpectedEof`. Returns
+/// the message and the number of bytes read.
+pub fn read_message(r: &mut impl Read) -> Result<(Message, usize), RecvError> {
+    let mut header = [0u8; HEADER_LEN];
+    let first = r.read(&mut header).map_err(RecvError::Io)?;
+    if first == 0 {
+        return Err(RecvError::Closed);
+    }
+    read_exact_from(r, &mut header[first..]).map_err(RecvError::Io)?;
+    let magic: [u8; 4] = header[0..4].try_into().expect("fixed slice");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic).into());
+    }
+    if header[4] != VERSION {
+        return Err(WireError::UnsupportedVersion(header[4]).into());
+    }
+    let kind = header[5];
+    let id = u64::from_be_bytes(header[6..14].try_into().expect("fixed slice"));
+    let payload_len = u32::from_be_bytes(header[14..18].try_into().expect("fixed slice"));
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(payload_len).into());
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    read_exact_from(r, &mut payload).map_err(RecvError::Io)?;
+    let msg = decode_payload(kind, id, &payload)?;
+    Ok((msg, HEADER_LEN + payload.len()))
+}
+
+/// `read_exact` that retries on `Interrupted`, used for both header and
+/// payload so a short read is always a typed transport error.
+fn read_exact_from(r: &mut impl Read, mut buf: &mut [u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match r.read(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => buf = &mut buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let buf = encode_to_vec(&msg);
+        let (decoded, consumed) = decode_message(&buf).expect("roundtrip decodes");
+        assert_eq!(decoded, msg);
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let key = Key::hash_of("k");
+        let value = Bytes::from_static(b"value");
+        roundtrip(Message::Request {
+            id: 1,
+            op: DhtOp::NodeFor(key),
+        });
+        roundtrip(Message::Request {
+            id: 2,
+            op: DhtOp::Put {
+                key,
+                value: value.clone(),
+            },
+        });
+        roundtrip(Message::Request {
+            id: 3,
+            op: DhtOp::Get(key),
+        });
+        roundtrip(Message::Request {
+            id: u64::MAX,
+            op: DhtOp::Remove { key, value },
+        });
+        roundtrip(Message::Response {
+            id: 9,
+            result: Ok(DhtResponse::Node(NodeId::hash_of("n"))),
+        });
+        roundtrip(Message::Response {
+            id: 10,
+            result: Ok(DhtResponse::Stored(true)),
+        });
+        roundtrip(Message::Response {
+            id: 11,
+            result: Ok(DhtResponse::Values(vec![
+                Bytes::from_static(b""),
+                Bytes::from_static(b"two"),
+            ])),
+        });
+        roundtrip(Message::Response {
+            id: 12,
+            result: Ok(DhtResponse::Removed(false)),
+        });
+        for e in [
+            DhtError::Timeout,
+            DhtError::NoLiveNodes,
+            DhtError::StorageFull,
+            DhtError::Unknown(999),
+        ] {
+            roundtrip(Message::Response {
+                id: 13,
+                result: Err(e),
+            });
+        }
+        roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn golden_frame_layout_is_pinned() {
+        // Byte-for-byte layout of one request frame; changing the codec
+        // without bumping VERSION must fail here.
+        let key = Key::hash_of("k");
+        let msg = Message::Request {
+            id: 7,
+            op: DhtOp::Put {
+                key,
+                value: Bytes::from_static(b"v"),
+            },
+        };
+        let buf = encode_to_vec(&msg);
+        let mut expected = Vec::new();
+        expected.extend_from_slice(b"PDHT");
+        expected.push(0x01); // version
+        expected.push(0x01); // kind: request
+        expected.extend_from_slice(&7u64.to_be_bytes());
+        expected.extend_from_slice(&26u32.to_be_bytes()); // opcode + key + len + 1
+        expected.push(0x02); // opcode: put
+        expected.extend_from_slice(key.as_bytes());
+        expected.extend_from_slice(&1u32.to_be_bytes());
+        expected.push(b'v');
+        assert_eq!(buf, expected);
+    }
+
+    #[test]
+    fn stream_roundtrip_and_clean_close() {
+        let msg = Message::Request {
+            id: 5,
+            op: DhtOp::Get(Key::hash_of("x")),
+        };
+        let mut wire = Vec::new();
+        let written = write_message(&mut wire, &msg).unwrap();
+        assert_eq!(written, wire.len());
+        let mut cursor = io::Cursor::new(wire);
+        let (decoded, read) = read_message(&mut cursor).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(read, written);
+        assert!(matches!(read_message(&mut cursor), Err(RecvError::Closed)));
+    }
+
+    #[test]
+    fn rejections_are_typed() {
+        let good = encode_to_vec(&Message::Shutdown);
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            decode_message(&bad_magic),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            decode_message(&bad_version),
+            Err(WireError::UnsupportedVersion(9))
+        );
+
+        let mut bad_kind = good.clone();
+        bad_kind[5] = 0x7F;
+        assert_eq!(decode_message(&bad_kind), Err(WireError::UnknownKind(0x7F)));
+
+        let mut oversized = good.clone();
+        oversized[14..18].copy_from_slice(&(MAX_PAYLOAD + 1).to_be_bytes());
+        assert_eq!(
+            decode_message(&oversized),
+            Err(WireError::Oversized(MAX_PAYLOAD + 1))
+        );
+
+        for cut in 0..good.len() {
+            assert_eq!(
+                decode_message(&good[..cut]),
+                Err(WireError::Truncated),
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_frame_eof_is_a_transport_error() {
+        let buf = encode_to_vec(&Message::Request {
+            id: 1,
+            op: DhtOp::Get(Key::hash_of("x")),
+        });
+        let mut cursor = io::Cursor::new(&buf[..buf.len() - 3]);
+        assert!(matches!(read_message(&mut cursor), Err(RecvError::Io(_))));
+    }
+}

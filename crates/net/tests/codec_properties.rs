@@ -1,0 +1,284 @@
+//! Property tests for the wire codec.
+//!
+//! Two families:
+//!
+//! * **Roundtrip** — every [`Message`] (all `DhtOp` / `DhtResponse` /
+//!   `DhtError` variants, arbitrary ids, keys, and values) survives
+//!   encode → decode byte-exactly, and the decoder consumes exactly the
+//!   encoded length.
+//! * **Rejection** — no input makes the decoder panic: arbitrary byte
+//!   soup, truncated frames at every cut point, oversized length
+//!   prefixes, and wrong versions all come back as typed [`WireError`]s.
+//!
+//! Each property has a deterministic companion driven by a seeded
+//! [`SplitMix64`] sequence, so the invariants are exercised on every test
+//! run even where proptest is unavailable, and with a pinned
+//! `PROPTEST_RNG_SEED` in CI.
+
+use bytes::Bytes;
+use p2p_index_dht::{DhtError, DhtOp, DhtResponse, Key, NodeId, SplitMix64};
+use p2p_index_net::wire::{decode_message, encode_to_vec, HEADER_LEN, MAX_PAYLOAD};
+use p2p_index_net::{Message, WireError, VERSION};
+use proptest::prelude::*;
+
+fn rng_key(rng: &mut SplitMix64) -> Key {
+    let mut digest = [0u8; 20];
+    for chunk in digest.chunks_mut(8) {
+        let word = rng.next_u64().to_be_bytes();
+        chunk.copy_from_slice(&word[..chunk.len()]);
+    }
+    Key::from_digest(digest)
+}
+
+fn rng_value(rng: &mut SplitMix64) -> Bytes {
+    let len = (rng.next_u64() % 50) as usize;
+    Bytes::from((0..len).map(|_| rng.next_u64() as u8).collect::<Vec<u8>>())
+}
+
+/// A message cycling through every variant, with rng-derived contents.
+fn rng_message(rng: &mut SplitMix64, variant: usize) -> Message {
+    let id = rng.next_u64();
+    match variant % 13 {
+        0 => Message::Request {
+            id,
+            op: DhtOp::NodeFor(rng_key(rng)),
+        },
+        1 => Message::Request {
+            id,
+            op: DhtOp::Put {
+                key: rng_key(rng),
+                value: rng_value(rng),
+            },
+        },
+        2 => Message::Request {
+            id,
+            op: DhtOp::Get(rng_key(rng)),
+        },
+        3 => Message::Request {
+            id,
+            op: DhtOp::Remove {
+                key: rng_key(rng),
+                value: rng_value(rng),
+            },
+        },
+        4 => Message::Response {
+            id,
+            result: Ok(DhtResponse::Node(NodeId::from_key(rng_key(rng)))),
+        },
+        5 => Message::Response {
+            id,
+            result: Ok(DhtResponse::Stored(rng.next_u64().is_multiple_of(2))),
+        },
+        6 => Message::Response {
+            id,
+            result: Ok(DhtResponse::Values(
+                (0..rng.next_u64() % 5).map(|_| rng_value(rng)).collect(),
+            )),
+        },
+        7 => Message::Response {
+            id,
+            result: Ok(DhtResponse::Removed(rng.next_u64().is_multiple_of(2))),
+        },
+        8 => Message::Response {
+            id,
+            result: Err(DhtError::Timeout),
+        },
+        9 => Message::Response {
+            id,
+            result: Err(DhtError::NoLiveNodes),
+        },
+        10 => Message::Response {
+            id,
+            result: Err(DhtError::StorageFull),
+        },
+        11 => Message::Response {
+            id,
+            result: Err(DhtError::from_wire_code(rng.next_u64() as u16)),
+        },
+        _ => Message::Shutdown,
+    }
+}
+
+fn assert_roundtrip(msg: &Message) {
+    let buf = encode_to_vec(msg);
+    let (decoded, consumed) = decode_message(&buf).expect("encoded frame must decode");
+    assert_eq!(&decoded, msg);
+    assert_eq!(consumed, buf.len(), "decoder must consume the whole frame");
+}
+
+/// Feeding any byte slice to the decoder must return, never panic.
+fn assert_total(buf: &[u8]) {
+    let _ = decode_message(buf);
+}
+
+#[test]
+fn roundtrip_deterministic() {
+    let mut rng = SplitMix64::new(0x5eed);
+    for variant in 0..13 * 40 {
+        assert_roundtrip(&rng_message(&mut rng, variant));
+    }
+}
+
+#[test]
+fn decoder_is_total_on_garbage_deterministic() {
+    let mut rng = SplitMix64::new(0xdead);
+    for _ in 0..2000 {
+        let len = (rng.next_u64() % 64) as usize;
+        let buf: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        assert_total(&buf);
+    }
+}
+
+#[test]
+fn decoder_is_total_on_corrupted_valid_frames_deterministic() {
+    // Start from real frames and flip one byte at a time: every mutation
+    // must decode to something or fail typed, never panic.
+    let mut rng = SplitMix64::new(0xc0de);
+    for variant in 0..13 {
+        let buf = encode_to_vec(&rng_message(&mut rng, variant));
+        for at in 0..buf.len() {
+            let mut corrupted = buf.clone();
+            corrupted[at] ^= 0x41;
+            assert_total(&corrupted);
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected_without_panic() {
+    let mut rng = SplitMix64::new(7);
+    for variant in 0..13 {
+        let buf = encode_to_vec(&rng_message(&mut rng, variant));
+        for cut in 0..buf.len() {
+            assert_eq!(
+                decode_message(&buf[..cut]),
+                Err(WireError::Truncated),
+                "variant {variant}, prefix of {cut} bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    // A header whose length field claims gigabytes must fail fast on the
+    // prefix alone — the payload is never read, let alone allocated.
+    let mut frame = encode_to_vec(&Message::Shutdown);
+    for claimed in [MAX_PAYLOAD + 1, u32::MAX / 2, u32::MAX] {
+        frame[14..18].copy_from_slice(&claimed.to_be_bytes());
+        assert_eq!(decode_message(&frame), Err(WireError::Oversized(claimed)));
+    }
+}
+
+#[test]
+fn every_foreign_version_is_rejected() {
+    let good = encode_to_vec(&Message::Shutdown);
+    for version in 0..=u8::MAX {
+        if version == VERSION {
+            continue;
+        }
+        let mut frame = good.clone();
+        frame[4] = version;
+        assert_eq!(
+            decode_message(&frame),
+            Err(WireError::UnsupportedVersion(version))
+        );
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    // A frame whose payload outlives its message is corrupt, not padded.
+    let mut rng = SplitMix64::new(11);
+    for variant in 0..13 {
+        let mut buf = encode_to_vec(&rng_message(&mut rng, variant));
+        buf.push(0);
+        let len = u32::from_be_bytes(buf[14..18].try_into().unwrap()) + 1;
+        buf[14..18].copy_from_slice(&len.to_be_bytes());
+        assert_eq!(decode_message(&buf), Err(WireError::TrailingBytes(1)));
+    }
+}
+
+#[test]
+fn unknown_error_codes_decode_as_catch_all_not_failure() {
+    for code in [4u16, 100, u16::MAX] {
+        let msg = Message::Response {
+            id: 1,
+            result: Err(DhtError::from_wire_code(code)),
+        };
+        let buf = encode_to_vec(&msg);
+        let (decoded, _) = decode_message(&buf).expect("unknown codes are data, not errors");
+        assert_eq!(
+            decoded,
+            Message::Response {
+                id: 1,
+                result: Err(DhtError::Unknown(code)),
+            }
+        );
+    }
+}
+
+proptest! {
+    /// Every request roundtrips for arbitrary ids, keys, and values.
+    #[test]
+    fn prop_requests_roundtrip(
+        id in any::<u64>(),
+        digest in proptest::array::uniform20(any::<u8>()),
+        value in proptest::collection::vec(any::<u8>(), 0..200),
+        which in 0usize..4,
+    ) {
+        let key = Key::from_digest(digest);
+        let value = Bytes::from(value);
+        let op = match which {
+            0 => DhtOp::NodeFor(key),
+            1 => DhtOp::Put { key, value },
+            2 => DhtOp::Get(key),
+            _ => DhtOp::Remove { key, value },
+        };
+        assert_roundtrip(&Message::Request { id, op });
+    }
+
+    /// Every response roundtrips, including multi-value payloads and
+    /// arbitrary (known or unknown) error codes.
+    #[test]
+    fn prop_responses_roundtrip(
+        id in any::<u64>(),
+        digest in proptest::array::uniform20(any::<u8>()),
+        values in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..50), 0..8),
+        flag in any::<bool>(),
+        code in any::<u16>(),
+        which in 0usize..5,
+    ) {
+        let result = match which {
+            0 => Ok(DhtResponse::Node(NodeId::from_key(Key::from_digest(digest)))),
+            1 => Ok(DhtResponse::Stored(flag)),
+            2 => Ok(DhtResponse::Values(values.into_iter().map(Bytes::from).collect())),
+            3 => Ok(DhtResponse::Removed(flag)),
+            _ => Err(DhtError::from_wire_code(code)),
+        };
+        assert_roundtrip(&Message::Response { id, result });
+    }
+
+    /// The decoder is total: arbitrary byte soup never panics.
+    #[test]
+    fn prop_decoder_is_total(buf in proptest::collection::vec(any::<u8>(), 0..256)) {
+        assert_total(&buf);
+    }
+
+    /// Any prefix of any valid frame is Truncated — there is no cut point
+    /// that yields a different error or a phantom message.
+    #[test]
+    fn prop_prefixes_truncate(seed in any::<u64>(), variant in 0usize..13) {
+        let mut rng = SplitMix64::new(seed);
+        let buf = encode_to_vec(&rng_message(&mut rng, variant));
+        for cut in 0..buf.len() {
+            prop_assert_eq!(decode_message(&buf[..cut]), Err(WireError::Truncated));
+        }
+    }
+}
+
+#[test]
+fn header_len_is_frame_minimum() {
+    // The shortest possible frame is a bare header (shutdown).
+    assert_eq!(encode_to_vec(&Message::Shutdown).len(), HEADER_LEN);
+}

@@ -1,0 +1,188 @@
+//! End-to-end loopback integration: the whole indexing stack over TCP.
+//!
+//! These tests are the crate's reason to exist, condensed: an
+//! `IndexService<RemoteDht>` talking to real `dhtd` servers must behave
+//! *identically* to the same service over an in-process `RingDht` — same
+//! files found, same interaction counts, same message accounting — and
+//! the retry layer must absorb faults injected behind the server without
+//! the client knowing sockets are involved.
+
+use p2p_index_core::{CachePolicy, IndexService, RetryPolicy, SimpleScheme};
+use p2p_index_dht::{Dht, RingDht};
+use p2p_index_net::{ClusterDht, LoopbackCluster, RemoteDhtConfig};
+use p2p_index_obs::MetricsRegistry;
+use p2p_index_xmldoc::Descriptor;
+use p2p_index_xpath::Query;
+
+fn corpus() -> Vec<(Descriptor, String)> {
+    let rows = [
+        ("John", "Smith", "TCP", "SIGCOMM", "1989"),
+        ("Jane", "Smith", "Indexing", "ICDCS", "2004"),
+        ("Ada", "Lovelace", "Notes", "LMS", "1843"),
+        ("Alan", "Turing", "Machines", "LMS", "1936"),
+        ("Paul", "Baran", "Packets", "SIGCOMM", "1989"),
+        ("Grace", "Hopper", "Compilers", "ICDCS", "2004"),
+    ];
+    rows.iter()
+        .enumerate()
+        .map(|(i, (first, last, title, conf, year))| {
+            let xml = format!(
+                "<article><author><first>{first}</first><last>{last}</last></author>\
+                 <title>{title}</title><conf>{conf}</conf><year>{year}</year></article>"
+            );
+            (
+                Descriptor::parse(&xml).expect("corpus XML parses"),
+                format!("file-{i}.pdf"),
+            )
+        })
+        .collect()
+}
+
+fn queries() -> Vec<Query> {
+    [
+        "/article/author[first/John][last/Smith]",
+        "/article/title/Notes",
+        "/article/conf/SIGCOMM",
+        "/article/year/2004",
+        "/article/author/last/Smith",
+    ]
+    .iter()
+    .map(|q| q.parse().expect("test query parses"))
+    .collect()
+}
+
+/// Publishes the corpus and runs the query set, returning per-query
+/// `(sorted files, interactions, generalization steps)` plus final stats.
+fn drive<D: Dht>(dht: D) -> (Vec<(Vec<String>, u32, u32)>, p2p_index_dht::DhtStats) {
+    let mut service = IndexService::new(dht, CachePolicy::Multi);
+    for (descriptor, file) in corpus() {
+        service
+            .publish(&descriptor, &file, &SimpleScheme)
+            .expect("publish on a healthy network");
+    }
+    let mut out = Vec::new();
+    for query in queries() {
+        let report = service.search(&query).expect("search on a healthy network");
+        let mut files: Vec<String> = report.files.iter().map(|f| f.file.clone()).collect();
+        files.sort();
+        out.push((files, report.interactions, report.generalization_steps));
+    }
+    (out, service.dht().stats())
+}
+
+#[test]
+fn index_service_over_sockets_equals_in_process() {
+    let cluster = ClusterDht::start_ring(5).expect("loopback cluster");
+    let (remote_reports, remote_stats) = drive(cluster);
+    let (local_reports, local_stats) = drive(RingDht::with_named_nodes(5));
+    assert_eq!(
+        remote_reports, local_reports,
+        "every query must find the same files with the same interaction counts"
+    );
+    assert_eq!(
+        remote_stats, local_stats,
+        "message accounting must be identical over sockets"
+    );
+}
+
+#[test]
+fn net_frames_cross_check_message_accounting() {
+    // The pinned convention: every completed RPC is one request frame out
+    // plus one response frame in, and counts as 2 messages. So the net.*
+    // frame counters and the dht messages counter must agree exactly.
+    let cluster = LoopbackCluster::start_ring(3).expect("loopback cluster");
+    let metrics = MetricsRegistry::new();
+    let mut client = cluster.client();
+    client.set_metrics(metrics.clone());
+
+    let mut service = IndexService::new(client, CachePolicy::None);
+    for (descriptor, file) in corpus() {
+        service
+            .publish(&descriptor, &file, &SimpleScheme)
+            .expect("publish on a healthy network");
+    }
+    for query in queries() {
+        service.search(&query).expect("search on a healthy network");
+    }
+
+    let frames_out = metrics.counter("net.frames_out");
+    let frames_in = metrics.counter("net.frames_in");
+    let messages = service.dht().stats().messages;
+    assert!(frames_out > 0, "the workload must actually hit the wire");
+    assert_eq!(frames_out, frames_in, "every request frame got a response");
+    assert_eq!(
+        frames_out + frames_in,
+        messages,
+        "2 messages per RPC pair: frames and message accounting must agree"
+    );
+    assert_eq!(
+        metrics.counter("dht.messages"),
+        messages,
+        "registry mirrors the substrate's own accounting"
+    );
+    assert_eq!(
+        cluster.ops_served(),
+        frames_out,
+        "servers answered exactly the requests the client sent"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn retry_policy_absorbs_faults_injected_behind_the_server() {
+    // 20% loss injected *server-side*: the client sees typed DhtError
+    // frames come back over the wire and its RetryPolicy — the same one
+    // that handles in-process FaultyDht — retries them to completion.
+    let cluster = ClusterDht::start_lossy_ring(3, 0xfau64, 0.2).expect("loopback cluster");
+    let mut service =
+        IndexService::with_retry(cluster, CachePolicy::Single, RetryPolicy::with_budget(5, 8));
+    for (descriptor, file) in corpus() {
+        service
+            .publish(&descriptor, &file, &SimpleScheme)
+            .expect("publish survives 20% loss under an 8-attempt budget");
+    }
+    let mut found = 0usize;
+    for query in queries() {
+        found += service
+            .search(&query)
+            .expect("search survives 20% loss under an 8-attempt budget")
+            .files
+            .len();
+    }
+    assert!(found > 0, "searches must still locate files under loss");
+    let stats = service.retry_stats();
+    assert!(
+        stats.retries > 0,
+        "20% loss must have forced at least one retry (got {stats:?})"
+    );
+    assert_eq!(stats.gave_up, 0, "the budget was generous enough");
+}
+
+#[test]
+fn transport_timeouts_are_retried_like_any_transient_fault() {
+    // Point one member at a dead port: every op routed there fails at the
+    // transport layer, maps to DhtError::Timeout, and burns its attempt
+    // budget — proving socket failures flow through the same retry path.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let members = p2p_index_net::RemoteDht::named_members(&[dead]);
+    let client = p2p_index_net::RemoteDht::connect(
+        members,
+        RemoteDhtConfig {
+            connect_timeout: std::time::Duration::from_millis(100),
+            ..RemoteDhtConfig::default()
+        },
+    );
+    let mut service =
+        IndexService::with_retry(client, CachePolicy::None, RetryPolicy::with_budget(1, 3));
+    let (descriptor, file) = corpus().remove(0);
+    let err = service
+        .publish(&descriptor, &file, &SimpleScheme)
+        .expect_err("a dead cluster cannot accept publishes");
+    let _ = err;
+    let stats = service.retry_stats();
+    assert!(stats.retries > 0, "transport faults must be retried");
+    assert!(stats.gave_up > 0, "the budget must eventually exhaust");
+}

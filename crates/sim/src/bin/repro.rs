@@ -4,6 +4,10 @@
 //! repro <exhibit> [--small] [--nodes N] [--articles N] [--queries N]
 //!                 [--seed N] [--csv DIR] [--jobs N] [--metrics FILE]
 //! repro trace <query> [--small] [...]
+//! repro serve [--substrate ring|chord|kademlia|pastry] [--port N]
+//!             [--node-name NAME] [--loss F] [--fault-seed N]
+//! repro net-demo --members HOST:PORT,... [--articles N] [--queries N]
+//!                [--seed N] [--shutdown]
 //!
 //! exhibits: fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1 storage
 //!           ext-structures ext-churn robustness bench trace all
@@ -28,7 +32,14 @@
 //! `bench` times one fixed cell and the full figure grid (serial, then
 //! parallel) and writes `BENCH_results.json` next to the CSVs. Every
 //! timing is the median of 3 runs after a warmup pass, so the JSON is
-//! diff-stable across repeated invocations.
+//! diff-stable across repeated invocations. It also measures loopback
+//! RPC throughput/latency over real sockets (the `net` section).
+//!
+//! `serve` runs one networked DHT node (`dhtd`): a single-node substrate
+//! partition behind the `crates/net` wire protocol, until it receives a
+//! shutdown frame. `net-demo` is the matching client: it points the full
+//! indexing stack at a running cluster over TCP. See the README's
+//! networking quickstart for a 5-node loopback ring.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -37,6 +48,7 @@ use std::time::Instant;
 use p2p_index_core::CachePolicy;
 use p2p_index_sim::exec::resolve_jobs;
 use p2p_index_sim::experiments::{self, EvalConfig, Evaluation};
+use p2p_index_sim::netd::{self, ServeOptions};
 use p2p_index_sim::simulation::{SchemeChoice, SimConfig, Simulation};
 use p2p_index_sim::table::TextTable;
 use p2p_index_xpath::Query;
@@ -97,8 +109,71 @@ fn parse_num(value: Option<String>, flag: &str) -> Result<usize, String> {
 fn usage() -> String {
     "usage: repro <fig7|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|storage|ext-structures|ext-churn|robustness|bench|all> \
      [--small] [--nodes N] [--articles N] [--queries N] [--seed N] [--csv DIR] [--jobs N] [--metrics FILE]\n\
-     \x20      repro trace <query> [--small] [--nodes N] [--articles N] [--seed N]"
+     \x20      repro trace <query> [--small] [--nodes N] [--articles N] [--seed N]\n\
+     \x20      repro serve [--substrate ring|chord|kademlia|pastry] [--port N] [--node-name NAME] [--loss F] [--fault-seed N]\n\
+     \x20      repro net-demo --members HOST:PORT,... [--articles N] [--queries N] [--seed N] [--shutdown]"
         .to_string()
+}
+
+/// Parses `repro serve` flags and runs the dhtd daemon until shutdown.
+fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut opts = ServeOptions::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--substrate" => {
+                opts.substrate = args.next().ok_or("--substrate needs a value")?;
+            }
+            "--port" => {
+                opts.port = parse_num(args.next(), "--port")? as u16;
+            }
+            "--node-name" => {
+                opts.node_name = args.next().ok_or("--node-name needs a value")?;
+            }
+            "--loss" => {
+                opts.loss = args
+                    .next()
+                    .ok_or("--loss needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--loss: {e}"))?;
+            }
+            "--fault-seed" => {
+                opts.fault_seed = parse_num(args.next(), "--fault-seed")? as u64;
+            }
+            other => return Err(format!("unknown serve flag {other}\n{}", usage())),
+        }
+    }
+    netd::serve(&opts)
+}
+
+/// Parses `repro net-demo` flags and drives a workload over the cluster.
+fn run_net_demo(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut members: Vec<std::net::SocketAddr> = Vec::new();
+    let mut articles = 60usize;
+    let mut queries = 40usize;
+    let mut seed = 42u64;
+    let mut shutdown = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--members" => {
+                for part in args.next().ok_or("--members needs a list")?.split(',') {
+                    members.push(
+                        part.trim()
+                            .parse()
+                            .map_err(|e| format!("--members {part:?}: {e}"))?,
+                    );
+                }
+            }
+            "--articles" => articles = parse_num(args.next(), "--articles")?,
+            "--queries" => queries = parse_num(args.next(), "--queries")?,
+            "--seed" => seed = parse_num(args.next(), "--seed")? as u64,
+            "--shutdown" => shutdown = true,
+            other => return Err(format!("unknown net-demo flag {other}\n{}", usage())),
+        }
+    }
+    if members.is_empty() {
+        return Err("net-demo needs --members HOST:PORT,...".to_string());
+    }
+    netd::net_demo(&members, articles, queries, seed, shutdown)
 }
 
 /// Writes the per-cell observability snapshots as one deterministic JSON
@@ -253,13 +328,18 @@ fn bench(cfg: &EvalConfig, jobs: usize, csv_dir: &Option<PathBuf>, metrics_path:
         grid.len()
     );
 
+    // Loopback RPC micro-bench: real sockets, single-node server, get and
+    // put at 1 and 8 client threads (median of 3 samples per cell).
+    let net_json = netd::net_bench();
+
     let json = format!(
         "{{\n  \"config\": {{ \"nodes\": {}, \"articles\": {}, \"queries\": {}, \"seed\": {} }},\n  \
            \"timing\": {{ \"warmup_runs\": 1, \"samples\": 3, \"statistic\": \"median\" }},\n  \
            \"cell\": {{ \"scheme\": \"simple\", \"policy\": \"single-cache\", \
                         \"wall_clock_s\": {cell_secs:.6}, \"queries_per_sec\": {queries_per_sec:.1} }},\n  \
            \"grid\": {{ \"cells\": {}, \"serial_s\": {serial_secs:.6}, \"jobs\": {par_jobs}, \
-                        \"parallel_s\": {parallel_secs:.6}, \"speedup\": {speedup:.3} }}\n}}\n",
+                        \"parallel_s\": {parallel_secs:.6}, \"speedup\": {speedup:.3} }},\n  \
+           \"net\": {net_json}\n}}\n",
         cfg.nodes,
         cfg.articles,
         cfg.queries,
@@ -279,6 +359,23 @@ fn bench(cfg: &EvalConfig, jobs: usize, csv_dir: &Option<PathBuf>, metrics_path:
 }
 
 fn main() -> ExitCode {
+    // The networking subcommands have their own flag sets; dispatch them
+    // before the exhibit parser sees (and rejects) their flags.
+    let first = std::env::args().nth(1);
+    if matches!(first.as_deref(), Some("serve") | Some("net-demo")) {
+        let rest = std::env::args().skip(2);
+        let result = match first.as_deref() {
+            Some("serve") => run_serve(rest),
+            _ => run_net_demo(rest),
+        };
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

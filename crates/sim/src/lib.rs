@@ -13,6 +13,8 @@
 //! * [`exec`] — the work-queue executor that runs independent grid cells
 //!   across cores while keeping every rendered table byte-identical to a
 //!   serial run;
+//! * [`netd`] — networked-cluster control: the `repro serve` dhtd daemon,
+//!   the `net-demo` remote workload client, and the loopback RPC bench;
 //! * [`table`] — text/CSV rendering.
 //!
 //! The `repro` binary drives everything:
@@ -27,6 +29,7 @@
 
 pub mod exec;
 pub mod experiments;
+pub mod netd;
 pub mod simulation;
 pub mod table;
 

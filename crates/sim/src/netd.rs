@@ -1,0 +1,386 @@
+//! Networked-cluster control for the `repro` binary.
+//!
+//! Three entry points, all built on `crates/net`:
+//!
+//! * [`serve`] — the `repro serve` daemon: run one `dhtd` node serving a
+//!   single-node partition of any substrate on a TCP port. Prints
+//!   `DHTD LISTENING <addr>` on stdout once bound (the multi-process
+//!   harness parses that line to learn ephemeral ports), then blocks
+//!   until a wire shutdown frame arrives.
+//! * [`net_demo`] — the `repro net-demo` client: point an
+//!   `IndexService<RemoteDht>` at a running cluster, publish a
+//!   deterministic corpus, drive a query workload, and report the same
+//!   metrics the in-process simulation reports.
+//! * [`net_bench`] — loopback RPC micro-benchmarks for `repro bench`:
+//!   ops/sec and p50/p99 latency for get and put at 1 and 8 client
+//!   threads, median of 3 samples, emitted as the `net` section of
+//!   `BENCH_results.json`.
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use p2p_index_core::{CachePolicy, IndexService, RetryPolicy, SimpleScheme};
+use p2p_index_dht::{
+    ChordNetwork, Dht, DhtOp, FaultConfig, FaultyDht, KademliaNetwork, Key, NodeId, PastryNetwork,
+    RingDht,
+};
+use p2p_index_net::{DhtServer, LoopbackCluster, RemoteDht, RemoteDhtConfig, ServerConfig};
+use p2p_index_workload::{Corpus, CorpusConfig, QueryGenerator, StructureMix};
+
+/// Options for the `repro serve` daemon.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Which substrate implementation backs this node's partition:
+    /// `ring`, `chord`, `kademlia`, or `pastry`.
+    pub substrate: String,
+    /// TCP port to bind on loopback (0 = ephemeral, reported on stdout).
+    pub port: u16,
+    /// The node's name; its identifier is `hash(name)`. The standard
+    /// cluster convention is `node-0..n-1`, matching
+    /// `RingDht::with_named_nodes`.
+    pub node_name: String,
+    /// Message-loss probability injected behind the server (0 = none).
+    pub loss: f64,
+    /// Seed for the fault injector, when `loss > 0`.
+    pub fault_seed: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            substrate: "ring".to_string(),
+            port: 0,
+            node_name: "node-0".to_string(),
+            loss: 0.0,
+            fault_seed: 0,
+        }
+    }
+}
+
+/// Builds the single-node substrate partition `serve` exposes.
+fn build_partition(opts: &ServeOptions) -> Result<Box<dyn Dht + Send>, String> {
+    let id = Key::hash_of(&opts.node_name);
+    let inner: Box<dyn Dht + Send> = match opts.substrate.as_str() {
+        "ring" => Box::new(RingDht::from_ids([id])),
+        "chord" => Box::new(ChordNetwork::with_perfect_tables([id])),
+        "kademlia" => Box::new(KademliaNetwork::with_nodes([id])),
+        "pastry" => Box::new(PastryNetwork::with_perfect_tables([id])),
+        other => {
+            return Err(format!(
+                "unknown substrate {other:?} (ring|chord|kademlia|pastry)"
+            ))
+        }
+    };
+    if opts.loss > 0.0 {
+        // Each Dht impl is concrete behind FaultyDht, so wrap per kind.
+        let cfg = FaultConfig::lossy(opts.fault_seed, opts.loss);
+        return Ok(match opts.substrate.as_str() {
+            "ring" => Box::new(FaultyDht::new(RingDht::from_ids([id]), cfg)),
+            "chord" => Box::new(FaultyDht::new(ChordNetwork::with_perfect_tables([id]), cfg)),
+            "kademlia" => Box::new(FaultyDht::new(KademliaNetwork::with_nodes([id]), cfg)),
+            "pastry" => Box::new(FaultyDht::new(
+                PastryNetwork::with_perfect_tables([id]),
+                cfg,
+            )),
+            _ => unreachable!("validated above"),
+        });
+    }
+    Ok(inner)
+}
+
+/// Runs one `dhtd` node until a wire shutdown frame arrives.
+///
+/// Prints exactly one `DHTD LISTENING <addr>` line on stdout once the
+/// listener is bound; everything else goes to stderr. Returns only after
+/// graceful shutdown.
+pub fn serve(opts: &ServeOptions) -> Result<(), String> {
+    use std::io::Write;
+    let dht = build_partition(opts)?;
+    let server = DhtServer::spawn(dht, ("127.0.0.1", opts.port), ServerConfig::default())
+        .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
+    let addr = server.local_addr();
+    // The harness parses this exact line to learn the ephemeral port, so
+    // flush it before blocking.
+    println!("DHTD LISTENING {addr}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "# dhtd: {} partition for {} ({}), loss {}",
+        opts.substrate,
+        opts.node_name,
+        NodeId::hash_of(&opts.node_name),
+        opts.loss
+    );
+    server.wait();
+    eprintln!("# dhtd: shutdown");
+    Ok(())
+}
+
+/// Summary of one `net_demo` run, also used by tests to compare a remote
+/// run against an in-process one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DemoOutcome {
+    /// Total files located across all queries.
+    pub files_found: u64,
+    /// Total user-system interactions across all queries.
+    pub interactions: u64,
+    /// Searches that returned no files.
+    pub misses: u64,
+    /// Final substrate stats: (messages, lookups).
+    pub messages: u64,
+    /// Lookups half of the substrate stats.
+    pub lookups: u64,
+}
+
+/// Publishes `articles` deterministic articles and runs `queries`
+/// workload queries through `dht`, with the retry budget the robustness
+/// experiments use. This is the exact same workload whether `dht` is a
+/// `RemoteDht` over a live cluster or an in-process substrate — which is
+/// what makes remote-vs-local equality a meaningful check.
+pub fn run_workload<D: Dht>(
+    dht: D,
+    articles: usize,
+    queries: usize,
+    seed: u64,
+) -> Result<DemoOutcome, String> {
+    let corpus = Corpus::generate(CorpusConfig {
+        articles,
+        author_pool: (articles / 3).max(8),
+        seed,
+        ..CorpusConfig::default()
+    });
+    let mut service =
+        IndexService::with_retry(dht, CachePolicy::Multi, RetryPolicy::with_budget(seed, 4));
+    for article in corpus.articles() {
+        service
+            .publish(&article.descriptor(), article.file_name(), &SimpleScheme)
+            .map_err(|e| format!("publish failed: {e}"))?;
+    }
+    let mut generator = QueryGenerator::new(&corpus, StructureMix::paper_simulation(), seed);
+    let mut outcome = DemoOutcome {
+        files_found: 0,
+        interactions: 0,
+        misses: 0,
+        messages: 0,
+        lookups: 0,
+    };
+    for item in generator.take_queries(queries) {
+        let report = service
+            .search(&item.query)
+            .map_err(|e| format!("search {} failed: {e}", item.query))?;
+        outcome.files_found += report.files.len() as u64;
+        outcome.interactions += u64::from(report.interactions);
+        if report.files.is_empty() {
+            outcome.misses += 1;
+        }
+    }
+    let stats = service.dht().stats();
+    outcome.messages = stats.messages;
+    outcome.lookups = stats.lookups;
+    Ok(outcome)
+}
+
+/// The `repro net-demo` client: run [`run_workload`] over a live cluster.
+///
+/// `members` are `host:port` addresses in node order (the `i`-th serves
+/// `node-i`). With `shutdown` set, every member is sent a wire shutdown
+/// frame after the run — handy for tearing down a quickstart cluster.
+pub fn net_demo(
+    members: &[SocketAddr],
+    articles: usize,
+    queries: usize,
+    seed: u64,
+    shutdown: bool,
+) -> Result<(), String> {
+    let client = RemoteDht::connect(
+        RemoteDht::named_members(members),
+        RemoteDhtConfig::default(),
+    );
+    eprintln!(
+        "# net-demo: {} member(s), {articles} articles, {queries} queries, seed {seed}",
+        members.len()
+    );
+    // Keep a second client for teardown: run_workload consumes the first.
+    let closer = shutdown.then(|| {
+        RemoteDht::connect(
+            RemoteDht::named_members(members),
+            RemoteDhtConfig::default(),
+        )
+    });
+    let outcome = run_workload(client, articles, queries, seed)?;
+    println!(
+        "queries {queries}: {} file(s) found, {} misses, {} interactions, \
+         {} DHT messages, {} lookups",
+        outcome.files_found,
+        outcome.misses,
+        outcome.interactions,
+        outcome.messages,
+        outcome.lookups
+    );
+    if let Some(closer) = closer {
+        closer.shutdown_members();
+        eprintln!("# net-demo: sent shutdown to {} member(s)", members.len());
+    }
+    Ok(())
+}
+
+/// Latency percentile over a sorted slice of microsecond samples.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    // Nearest-rank definition: the smallest value with at least p percent
+    // of the sample at or below it.
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// One measured cell of the net bench: `threads` clients hammering a
+/// loopback server with `ops` operations each of one kind.
+struct NetBenchCell {
+    op: &'static str,
+    threads: usize,
+    ops_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Runs one `(op, threads)` cell against `cluster` and returns the
+/// aggregate throughput plus latency percentiles.
+fn net_bench_cell(cluster: &LoopbackCluster, op: &'static str, threads: usize) -> NetBenchCell {
+    const OPS_PER_THREAD: usize = 300;
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = cluster.client();
+                    let mut lats = Vec::with_capacity(OPS_PER_THREAD);
+                    for i in 0..OPS_PER_THREAD {
+                        let key = Key::hash_of(&format!("bench-{t}-{i}"));
+                        let req = match op {
+                            "put" => DhtOp::Put {
+                                key,
+                                value: bytes::Bytes::from(format!("value-{t}-{i}")),
+                            },
+                            _ => DhtOp::Get(key),
+                        };
+                        let at = Instant::now();
+                        client.execute(req).expect("bench op on live loopback");
+                        lats.push(at.elapsed().as_micros() as u64);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("bench thread panicked"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    NetBenchCell {
+        op,
+        threads,
+        ops_per_sec: latencies.len() as f64 / wall.max(1e-9),
+        p50_us: percentile(&latencies, 50.0),
+        p99_us: percentile(&latencies, 99.0),
+    }
+}
+
+/// The loopback RPC micro-benchmark: get and put at 1 and 8 client
+/// threads against a single-node loopback server. Each cell is sampled 3
+/// times and the median by throughput is reported. Returns the `net`
+/// JSON object for `BENCH_results.json` (and prints a summary line per
+/// cell on stderr).
+pub fn net_bench() -> String {
+    let cluster = LoopbackCluster::start_ring(1).expect("loopback bench cluster binds");
+    let mut cells = Vec::new();
+    for op in ["get", "put"] {
+        for threads in [1usize, 8] {
+            let mut samples: Vec<NetBenchCell> = (0..3)
+                .map(|_| net_bench_cell(&cluster, op, threads))
+                .collect();
+            samples.sort_by(|a, b| {
+                a.ops_per_sec
+                    .partial_cmp(&b.ops_per_sec)
+                    .expect("throughput is finite")
+            });
+            let median = samples.remove(1);
+            eprintln!(
+                "# net {op} x{threads}: {:.0} ops/s, p50 {} us, p99 {} us (median of 3)",
+                median.ops_per_sec, median.p50_us, median.p99_us
+            );
+            cells.push(median);
+        }
+    }
+    cluster.shutdown();
+    let body = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{{ \"op\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.1}, \
+                 \"p50_us\": {}, \"p99_us\": {} }}",
+                c.op, c.threads, c.ops_per_sec, c.p50_us, c.p99_us
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    format!(
+        "{{ \"transport\": \"tcp-loopback\", \"samples\": 3, \"statistic\": \"median\", \
+         \"cells\": [\n    {body}\n  ] }}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_workload_equals_in_process_workload() {
+        // The core promise, at sim scale: same corpus, same queries, same
+        // seed -> byte-equal outcomes and message accounting whether the
+        // substrate is a TCP cluster or in-process.
+        let cluster = LoopbackCluster::start_ring(4).expect("loopback cluster binds");
+        let remote = run_workload(cluster.client(), 24, 16, 9).expect("remote workload");
+        let local = run_workload(RingDht::with_named_nodes(4), 24, 16, 9).expect("local workload");
+        assert_eq!(remote, local);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn build_partition_rejects_unknown_substrates() {
+        let err = match build_partition(&ServeOptions {
+            substrate: "carrier-pigeon".to_string(),
+            ..ServeOptions::default()
+        }) {
+            Err(message) => message,
+            Ok(_) => panic!("unknown substrate was accepted"),
+        };
+        assert!(err.contains("carrier-pigeon"));
+    }
+
+    #[test]
+    fn every_substrate_kind_serves_a_partition() {
+        for kind in ["ring", "chord", "kademlia", "pastry"] {
+            let mut dht = build_partition(&ServeOptions {
+                substrate: kind.to_string(),
+                ..ServeOptions::default()
+            })
+            .expect("known substrate");
+            assert_eq!(dht.len(), 1, "{kind}");
+            assert!(
+                dht.put(Key::hash_of("k"), bytes::Bytes::from_static(b"v")),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_are_sane() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+}

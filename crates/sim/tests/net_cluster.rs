@@ -1,0 +1,193 @@
+//! Multi-process cluster harness: the acceptance test for the networked
+//! substrate.
+//!
+//! Each test spawns real `repro serve` child processes (one dhtd per
+//! node, ephemeral ports), parses the `DHTD LISTENING <addr>` line each
+//! daemon prints, and drives the *same* paper workload through an
+//! `IndexService<RemoteDht>` that an in-process `RingDht` run sees.
+//! Results must be equal — the wire is an implementation detail, not a
+//! semantic one.
+//!
+//! Teardown is deliberate: a wire `Shutdown` frame per member, then
+//! `wait()` with a hard deadline, then `kill()`. A hung daemon fails the
+//! test rather than the CI job.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use p2p_index_dht::{Dht, RingDht};
+use p2p_index_net::{RemoteDht, RemoteDhtConfig};
+use p2p_index_obs::MetricsRegistry;
+use p2p_index_sim::netd::run_workload;
+
+/// One spawned `repro serve` daemon and the address it bound.
+struct DhtdChild {
+    child: Child,
+    addr: SocketAddr,
+}
+
+/// Spawns `repro serve` with the given extra flags on an ephemeral port
+/// and waits for its `DHTD LISTENING <addr>` banner.
+fn spawn_dhtd(node_name: &str, extra: &[&str]) -> DhtdChild {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--substrate", "ring", "--port", "0"])
+        .args(["--node-name", node_name])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn repro serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("daemon exited before announcing its address")
+        .expect("read daemon banner");
+    let addr = banner
+        .strip_prefix("DHTD LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .parse()
+        .expect("parse daemon address");
+    // Keep draining stdout in the background so the child never blocks
+    // on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    DhtdChild { child, addr }
+}
+
+fn spawn_cluster(n: usize, extra: &[&str]) -> Vec<DhtdChild> {
+    (0..n)
+        .map(|i| spawn_dhtd(&format!("node-{i}"), extra))
+        .collect()
+}
+
+fn members(children: &[DhtdChild]) -> Vec<SocketAddr> {
+    children.iter().map(|c| c.addr).collect()
+}
+
+/// Sends each member a wire shutdown frame, then waits for every child
+/// with a hard deadline; anything still alive is killed and the test
+/// fails.
+fn shutdown_cluster(children: Vec<DhtdChild>, addrs: &[SocketAddr]) {
+    let closer = RemoteDht::connect(RemoteDht::named_members(addrs), RemoteDhtConfig::default());
+    closer.shutdown_members();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for mut child in children {
+        loop {
+            match child.child.try_wait().expect("poll child") {
+                Some(status) => {
+                    assert!(status.success(), "daemon exited with {status}");
+                    break;
+                }
+                None if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                None => {
+                    child.child.kill().ok();
+                    child.child.wait().ok();
+                    panic!("daemon ignored shutdown frame; killed");
+                }
+            }
+        }
+    }
+}
+
+fn remote_client(addrs: &[SocketAddr]) -> RemoteDht {
+    RemoteDht::connect(RemoteDht::named_members(addrs), RemoteDhtConfig::default())
+}
+
+/// The acceptance criterion: `IndexService<RemoteDht>` against live dhtd
+/// processes produces results equal to an in-process run of the same
+/// seed — files found, interactions, misses, and DHT stats alike.
+#[test]
+fn remote_cluster_workload_equals_in_process_run() {
+    const NODES: usize = 5;
+    let children = spawn_cluster(NODES, &[]);
+    let addrs = members(&children);
+
+    let remote = run_workload(remote_client(&addrs), 30, 20, 77).expect("remote workload");
+    let local = run_workload(RingDht::with_named_nodes(NODES), 30, 20, 77).expect("local workload");
+    assert_eq!(remote, local, "socket hop changed the workload outcome");
+    assert!(remote.files_found > 0, "workload found nothing — vacuous");
+
+    shutdown_cluster(children, &addrs);
+}
+
+/// net.* frame counters must agree with the substrate's
+/// 2-messages-per-RPC-pair accounting: every completed request/response
+/// pair is one frame out, one frame in, and two DHT messages.
+#[test]
+fn net_frame_counters_match_message_accounting() {
+    let children = spawn_cluster(3, &[]);
+    let addrs = members(&children);
+
+    let metrics = MetricsRegistry::new();
+    let mut client = remote_client(&addrs);
+    client.set_metrics(metrics.clone());
+    let outcome = run_workload(client, 18, 12, 5).expect("remote workload");
+
+    let snap = metrics.snapshot();
+    let frames_out = snap.counter("net.frames_out");
+    let frames_in = snap.counter("net.frames_in");
+    assert!(frames_out > 0, "no frames sent — vacuous");
+    assert_eq!(frames_out, frames_in, "every request frame got a response");
+    assert_eq!(
+        frames_out + frames_in,
+        outcome.messages,
+        "2-messages-per-RPC-pair accounting drifted from wire frame counts"
+    );
+    assert_eq!(snap.counter("net.transport_errors"), 0);
+    assert_eq!(snap.counter("net.decode_errors"), 0);
+
+    shutdown_cluster(children, &addrs);
+}
+
+/// Fault injection behind the server: daemons started with `--loss`
+/// wrap their partition in `FaultyDht`, so the client sees typed
+/// `DhtError::Timeout` frames. `IndexService`'s retry policy must absorb
+/// them and still complete the workload.
+#[test]
+fn lossy_cluster_completes_under_retry() {
+    let children = spawn_cluster(3, &["--loss", "0.15", "--fault-seed", "29"]);
+    let addrs = members(&children);
+
+    let dht = remote_client(&addrs);
+    let lossless = run_workload(RingDht::with_named_nodes(3), 18, 12, 11).expect("local");
+    let outcome = run_workload(dht, 18, 12, 11).expect("lossy remote workload");
+    assert_eq!(
+        outcome.files_found, lossless.files_found,
+        "retries should mask loss without changing results"
+    );
+    assert!(
+        outcome.messages > lossless.messages,
+        "injected loss should cost extra message pairs (retries)"
+    );
+
+    shutdown_cluster(children, &addrs);
+}
+
+/// A plain `Dht` smoke test over one daemon: put/get/remove round-trip
+/// with values intact.
+#[test]
+fn single_daemon_round_trip() {
+    let children = spawn_cluster(1, &[]);
+    let addrs = members(&children);
+
+    let mut dht = remote_client(&addrs);
+    let key = p2p_index_dht::Key::hash_of("net-harness-key");
+    assert!(dht.put(key, bytes::Bytes::from_static(b"alpha")));
+    assert!(dht.put(key, bytes::Bytes::from_static(b"beta")));
+    let mut got: Vec<_> = dht
+        .get(&key)
+        .into_iter()
+        .map(|b| String::from_utf8_lossy(&b).into_owned())
+        .collect();
+    got.sort();
+    assert_eq!(got, ["alpha", "beta"]);
+    assert!(dht.remove(&key, b"alpha"));
+    assert!(dht.remove(&key, b"beta"));
+    assert!(dht.get(&key).is_empty());
+
+    shutdown_cluster(children, &addrs);
+}

@@ -54,6 +54,9 @@
 pub use p2p_index_core as index;
 /// DHT substrates (re-export of `p2p-index-dht`).
 pub use p2p_index_dht as dht;
+/// Networked DHT nodes: wire codec, dhtd server, remote client
+/// (re-export of `p2p-index-net`).
+pub use p2p_index_net as net;
 /// The evaluation harness (re-export of `p2p-index-sim`).
 pub use p2p_index_sim as sim;
 /// Workload models (re-export of `p2p-index-workload`).
