@@ -310,13 +310,96 @@ impl<D: Dht> IndexService<D> {
     /// are retried (with exponential, jittered, simulated-time backoff)
     /// while the attempt budget lasts; structural faults and exhausted
     /// budgets surface as errors.
+    ///
+    /// A unary call is just a batch of one — there is exactly one code
+    /// path issuing DHT work, [`dht_execute_many`](Self::dht_execute_many).
     fn dht_execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
-        let kind = op.kind();
+        self.dht_execute_many(vec![op])
+            .pop()
+            .expect("one result per op")
+    }
+
+    /// Issues a batch of *independent* DHT operations under the retry
+    /// policy. The whole batch goes to the substrate as one
+    /// [`Dht::execute_many`] wave — on a networked substrate that is one
+    /// pipelined frame pair per routed member — and ops that failed
+    /// transiently then burn their remaining budget one at a time in op
+    /// order. Per-op retry accounting (`retry.*` stats and metrics,
+    /// trace events, the simulated backoff clock) is identical to the
+    /// unary sequence, and each `DhtOp` is cloned only while a further
+    /// retry is actually possible.
+    fn dht_execute_many(&mut self, ops: Vec<DhtOp>) -> Vec<Result<DhtResponse, DhtError>> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let may_retry = self.retry.max_attempts > 1;
+        let mut retained: Vec<Option<DhtOp>> = if may_retry {
+            ops.iter().map(|op| Some(op.clone())).collect()
+        } else {
+            vec![None; ops.len()]
+        };
+        let kinds: Vec<&'static str> = ops.iter().map(DhtOp::kind).collect();
+        let count = ops.len() as u64;
+        self.retry_stats.attempts += count;
+        self.metrics.add("retry.attempts", count);
+        let mut results = self.dht.execute_many(ops);
+        if self.tracer.is_some() {
+            for (kind, result) in kinds.iter().zip(&results) {
+                let event = match result {
+                    Ok(resp) => format!("dht {kind} -> {}", describe_response(resp)),
+                    Err(e) => format!("dht {kind} attempt 1 -> {e}"),
+                };
+                if let Some(t) = &mut self.tracer {
+                    t.event(event);
+                }
+            }
+        }
+        for (i, slot) in results.iter_mut().enumerate() {
+            match slot {
+                Ok(_) => {}
+                Err(e) if e.is_transient() && may_retry => {
+                    let op = retained[i]
+                        .take()
+                        .expect("op retained while retries remain");
+                    *slot = self.retry_tail(kinds[i], op);
+                }
+                Err(_) => {
+                    self.retry_stats.gave_up += 1;
+                    self.metrics.incr("retry.gave_up");
+                }
+            }
+        }
+        results
+    }
+
+    /// Continues one op's retry loop after its first (batched) attempt
+    /// failed transiently. Entered only when the budget allows at least
+    /// one more attempt; the op is cloned only while yet another retry
+    /// could follow the attempt being sent.
+    fn retry_tail(&mut self, kind: &'static str, op: DhtOp) -> Result<DhtResponse, DhtError> {
         let mut attempt = 1u32;
+        let mut pending = Some(op);
         loop {
+            let delay = self.retry.backoff_ms(attempt, &mut self.retry_rng);
+            self.sim_clock_ms += delay;
+            self.retry_stats.backoff_ms += delay;
+            self.retry_stats.retries += 1;
+            self.metrics.incr("retry.retries");
+            self.metrics.add("retry.backoff_ms", delay);
+            if let Some(t) = &mut self.tracer {
+                t.event(format!("backoff {delay}ms, retrying"));
+            }
+            attempt += 1;
             self.retry_stats.attempts += 1;
             self.metrics.incr("retry.attempts");
-            let result = self.dht.execute(op.clone());
+            let current = pending.take().expect("op retained while retries remain");
+            let send = if attempt < self.retry.max_attempts {
+                pending = Some(current.clone());
+                current
+            } else {
+                current
+            };
+            let result = self.dht.execute(send);
             if let Some(t) = &mut self.tracer {
                 match &result {
                     Ok(resp) => t.event(format!("dht {kind} -> {}", describe_response(resp))),
@@ -325,18 +408,7 @@ impl<D: Dht> IndexService<D> {
             }
             match result {
                 Ok(resp) => return Ok(resp),
-                Err(e) if e.is_transient() && attempt < self.retry.max_attempts => {
-                    let delay = self.retry.backoff_ms(attempt, &mut self.retry_rng);
-                    self.sim_clock_ms += delay;
-                    self.retry_stats.backoff_ms += delay;
-                    self.retry_stats.retries += 1;
-                    self.metrics.incr("retry.retries");
-                    self.metrics.add("retry.backoff_ms", delay);
-                    if let Some(t) = &mut self.tracer {
-                        t.event(format!("backoff {delay}ms, retrying"));
-                    }
-                    attempt += 1;
-                }
+                Err(e) if e.is_transient() && attempt < self.retry.max_attempts => {}
                 Err(e) => {
                     self.retry_stats.gave_up += 1;
                     self.metrics.incr("retry.gave_up");
@@ -617,6 +689,77 @@ impl<D: Dht> IndexService<D> {
         })
     }
 
+    /// Batched sibling of
+    /// [`lookup_step_bypassing_cache`](Self::lookup_step_bypassing_cache):
+    /// resolves and fetches several independent queries through one
+    /// [`Dht::execute_many`] wave — the multi-get fast path taken by all
+    /// the child queries referenced from one resolved index node. On a
+    /// networked substrate the whole wave costs one pipelined frame pair
+    /// per routed member instead of two frames per query. Results are
+    /// positional.
+    ///
+    /// While a trace is recording this falls back to per-query traced
+    /// lookups, so every query keeps its own `lookup …` span (the
+    /// invariant the observability suite pins); single-query batches take
+    /// the unary path too, which also preserves its NodeFor-then-Get
+    /// short-circuit.
+    fn lookup_many_bypassing_cache(
+        &mut self,
+        queries: &[Query],
+    ) -> Vec<Result<StepResponse, IndexError>> {
+        if self.tracer.is_some() || queries.len() <= 1 {
+            return queries
+                .iter()
+                .map(|q| self.lookup_step_bypassing_cache(q))
+                .collect();
+        }
+        let keys: Vec<Key> = queries.iter().map(|q| self.cached_key(q)).collect();
+        // Interleave [NodeFor, Get] per query — the op order the unary
+        // sequence would issue. Fault injectors draw per-op randomness in
+        // op order, so this keeps batched and unary runs comparable.
+        let mut ops = Vec::with_capacity(keys.len() * 2);
+        for key in &keys {
+            ops.push(DhtOp::NodeFor(*key));
+            ops.push(DhtOp::Get(*key));
+        }
+        let mut raw = self.dht_execute_many(ops).into_iter();
+        let mut out = Vec::with_capacity(queries.len());
+        for query in queries {
+            let node_result = raw.next().expect("one NodeFor result per query");
+            let get_result = raw.next().expect("one Get result per query");
+            out.push(self.assemble_bypass_lookup(query, node_result, get_result));
+        }
+        out
+    }
+
+    /// Reassembles one query's [`StepResponse`] from its batched
+    /// NodeFor/Get results, with side effects (node load, bypass metrics,
+    /// traffic accounting) identical to [`lookup_inner`](Self::lookup_inner)
+    /// without a cache probe.
+    fn assemble_bypass_lookup(
+        &mut self,
+        query: &Query,
+        node_result: Result<DhtResponse, DhtError>,
+        get_result: Result<DhtResponse, DhtError>,
+    ) -> Result<StepResponse, IndexError> {
+        let node = node_result?.into_node().ok_or(IndexError::EmptyNetwork)?;
+        *self.node_queries.entry(node).or_insert(0) += 1;
+        self.metrics.incr("index.lookups.bypass");
+        let indexed: Vec<IndexTarget> = get_result?
+            .into_values()
+            .iter()
+            .map(|b| IndexTarget::from_bytes(b))
+            .collect::<Result<_, _>>()?;
+        let request = query.canonical_text().len() as u64;
+        let response: u64 = indexed.iter().map(|t| t.encoded_len() as u64).sum();
+        self.traffic.record_exchange(request, response);
+        Ok(StepResponse {
+            node: Some(node),
+            cached: Vec::new(),
+            indexed,
+        })
+    }
+
     /// Creates shortcut cache entries for a successful lookup, following
     /// the configured policy (§IV-C / §V-D):
     ///
@@ -770,8 +913,12 @@ impl<D: Dht> IndexService<D> {
             }
         }
 
-        // Phase 2: breadth-first specialization over index entries.
+        // Phase 2: breadth-first specialization over index entries. All
+        // the fresh child queries referenced by one index node are
+        // independent, so they are fetched through one batched multi-get
+        // per dequeued node instead of one RPC pair per child.
         while let Some((current, resp)) = queue.pop_front() {
+            let mut children: Vec<Query> = Vec::new();
             for target in resp.all_targets() {
                 match target {
                     IndexTarget::File(f) => {
@@ -789,11 +936,21 @@ impl<D: Dht> IndexService<D> {
                     }
                     IndexTarget::Query(q) => {
                         if visited.insert(q.clone()) {
-                            if let Some(r) = self.lookup_or_abandon(q, &mut report)? {
-                                queue.push_back((q.clone(), r));
-                            }
+                            children.push(q.clone());
                         }
                     }
+                }
+            }
+            if children.is_empty() {
+                continue;
+            }
+            report.interactions += children.len() as u32;
+            let results = self.lookup_many_bypassing_cache(&children);
+            for (child, result) in children.into_iter().zip(results) {
+                match result {
+                    Ok(r) => queue.push_back((child, r)),
+                    Err(IndexError::Dht(_)) => report.completeness.abandoned += 1,
+                    Err(e) => return Err(e),
                 }
             }
         }

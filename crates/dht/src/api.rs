@@ -279,6 +279,22 @@ pub trait Dht {
     /// below are defined in terms of it.
     fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError>;
 
+    /// Executes a batch of *independent* operations, returning one result
+    /// per op in the same order.
+    ///
+    /// This is the batch-first entry point the index layer's multi-get
+    /// fast path is written against: a resolved index node's children are
+    /// all independent keys, so they can travel to the substrate together.
+    /// The default loops over [`Dht::execute`], which makes every
+    /// substrate (including fault-injecting wrappers, whose per-op RNG
+    /// draw order must not change) conform with semantics identical to
+    /// the equivalent unary sequence. Networked substrates override this
+    /// to pipeline: one frame pair per routed member instead of one per
+    /// op.
+    fn execute_many(&mut self, ops: Vec<DhtOp>) -> Vec<Result<DhtResponse, DhtError>> {
+        ops.into_iter().map(|op| self.execute(op)).collect()
+    }
+
     /// Resolves the live node currently responsible for `key`.
     ///
     /// Returns `None` only when the network has no live nodes.
@@ -361,6 +377,35 @@ pub fn record_op(
     if result.is_err() {
         metrics.incr("dht.errors");
     }
+}
+
+/// Records an executed batch into `metrics` from the substrate's
+/// aggregate stats delta, the batch-shaped sibling of [`record_op`].
+///
+/// Per-op counters (`dht.ops`, `dht.ops.{kind}`, `dht.errors`) are
+/// attributed exactly; the work counters (`dht.messages`, `dht.lookups`,
+/// `dht.hops`) are mirrored as one aggregate delta because a pipelined
+/// batch cannot attribute them per op. The `dht.hops_per_op` histogram is
+/// *not* fed here for the same reason — substrates that loop over
+/// [`Dht::execute`] (the trait default) keep per-op recording and never
+/// reach this helper.
+pub fn record_many(
+    metrics: &MetricsRegistry,
+    kinds: &[&'static str],
+    before: DhtStats,
+    after: DhtStats,
+    results: &[Result<DhtResponse, DhtError>],
+) {
+    for (kind, result) in kinds.iter().zip(results) {
+        metrics.incr("dht.ops");
+        metrics.incr(&format!("dht.ops.{kind}"));
+        if result.is_err() {
+            metrics.incr("dht.errors");
+        }
+    }
+    metrics.add("dht.messages", after.messages - before.messages);
+    metrics.add("dht.lookups", after.lookups - before.lookups);
+    metrics.add("dht.hops", after.hops - before.hops);
 }
 
 /// Substrate-level membership control, used by fault injection to model

@@ -52,7 +52,9 @@ pub mod pastry;
 pub mod ring;
 pub mod storage;
 
-pub use api::{record_op, Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId};
+pub use api::{
+    record_many, record_op, Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeChurn, NodeId,
+};
 pub use chord::{ChordConfig, ChordError, ChordNetwork};
 pub use faulty::{FaultConfig, FaultStats, FaultyDht, SplitMix64};
 pub use kademlia::{KademliaConfig, KademliaNetwork};

@@ -229,6 +229,17 @@ impl Dht for RingDht {
         result
     }
 
+    fn execute_many(&mut self, ops: Vec<DhtOp>) -> Vec<Result<DhtResponse, DhtError>> {
+        if self.metrics.is_enabled() {
+            // Per-op recording must stay identical to the unary sequence,
+            // so a metered batch is exactly the loop the trait default runs.
+            return ops.into_iter().map(|op| self.execute(op)).collect();
+        }
+        // The unmetered fast path: everything is in-process, so a batch
+        // is the plain loop minus the per-op metrics branch.
+        ops.into_iter().map(|op| self.execute_inner(op)).collect()
+    }
+
     fn node_for(&self, key: &Key) -> Option<NodeId> {
         self.owner(key)
     }

@@ -7,7 +7,10 @@
 //! several, `node_for` consistency with `nodes()`, and the
 //! message-accounting promise that one RPC request/response pair counts
 //! as two messages. Every check drives the substrate through the
-//! fallible [`Dht::execute`] entry point.
+//! fallible [`Dht::execute`] / [`Dht::execute_many`] entry points, and
+//! the batch entry point is pinned to be observationally identical to
+//! the unary sequence on every substrate — including the fault wrapper
+//! and the TCP-backed cluster.
 //!
 //! The `remote` entry is an in-process loopback cluster of real `dhtd`
 //! servers (one per node) fronted by a `RemoteDht` client — the same
@@ -369,6 +372,84 @@ fn empty_network_reports_no_live_nodes() {
             );
         }
     }
+}
+
+/// A deterministic mixed workload cycling over a few keys: puts, gets,
+/// resolutions, and removes (some hitting stored values, some absent).
+fn mixed_ops(n: usize) -> Vec<DhtOp> {
+    (0..n)
+        .map(|i| {
+            let key = Key::hash_of(&format!("batch-{}", i % 7));
+            match i % 4 {
+                0 => DhtOp::Put {
+                    key,
+                    value: Bytes::from(format!("v{i}")),
+                },
+                1 => DhtOp::Get(key),
+                2 => DhtOp::NodeFor(key),
+                _ => DhtOp::Remove {
+                    key: Key::hash_of("batch-0"),
+                    value: Bytes::from_static(b"v0"),
+                },
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn execute_many_matches_unary_execute() {
+    // The batch entry point is an API convenience plus a wire
+    // optimization — never a semantic change. For every substrate a
+    // mixed batch must return exactly what a twin issuing the same ops
+    // one by one returns, with identical final accounting.
+    let ops = mixed_ops(24);
+    for ((name, mut batched), (_, mut unary)) in substrates(8).into_iter().zip(substrates(8)) {
+        let batch_results = batched.execute_many(ops.clone());
+        let unary_results: Vec<_> = ops.iter().cloned().map(|op| unary.execute(op)).collect();
+        assert_eq!(
+            batch_results, unary_results,
+            "{name}: batch results must match the unary sequence op for op"
+        );
+        assert_eq!(
+            batched.stats(),
+            unary.stats(),
+            "{name}: per-op accounting must survive batching"
+        );
+    }
+}
+
+#[test]
+fn empty_batch_is_a_no_op() {
+    for (name, mut dht) in substrates(4) {
+        assert!(dht.execute_many(Vec::new()).is_empty(), "{name}");
+        assert_eq!(dht.stats().messages, 0, "{name}: no ops, no messages");
+    }
+}
+
+#[test]
+fn execute_many_preserves_fault_schedules() {
+    // The fault wrapper keeps the trait's default per-op loop, so a batch
+    // draws its fault rolls in exactly the order the unary sequence
+    // would: same seed, same schedule, same per-op outcomes.
+    let ops = mixed_ops(30);
+    let mut batched = FaultyDht::new(RingDht::from_ids(keys(4)), FaultConfig::lossy(11, 0.3));
+    let mut unary = FaultyDht::new(RingDht::from_ids(keys(4)), FaultConfig::lossy(11, 0.3));
+    let batch_results = batched.execute_many(ops.clone());
+    let unary_results: Vec<_> = ops.into_iter().map(|op| unary.execute(op)).collect();
+    assert_eq!(batch_results, unary_results);
+    assert!(
+        batch_results.iter().any(|r| r.is_err()),
+        "loss 0.3 over 30 ops must inject at least one fault"
+    );
+    assert!(
+        batch_results.iter().any(|r| r.is_ok()),
+        "and must not drop everything"
+    );
+    assert_eq!(
+        batched.fault_stats().injected(),
+        unary.fault_stats().injected()
+    );
+    assert_eq!(batched.stats(), unary.stats());
 }
 
 #[test]

@@ -19,21 +19,35 @@
 //! failed connection is dropped from the pool and redialed on the next
 //! call.
 //!
+//! # Batching
+//!
+//! Everything rides one code path: [`Dht::execute_many`]. The ops are
+//! grouped by routed member; a member owed exactly one op gets a plain
+//! unary `Request` frame (maximum interop — the frame is byte-identical
+//! to what a v1 build sends), a member owed several gets one
+//! [`Message::Batch`] frame. All frames are written before any reply is
+//! read, so the member servers execute concurrently and a k-child
+//! fan-out costs one frame pair per routed member instead of one per op.
+//! A unary [`Dht::execute`] is just a batch of one.
+//!
 //! # Accounting
 //!
-//! The `messages` counter increments by 2 for every request/response frame
-//! pair that completes (the RPC-pair convention pinned in the conformance
-//! suite); `lookups` increments for successful put/get, matching
-//! `RingDht`. Transport failures count nothing — no response arrived, so
-//! no pair completed. `net.*` metrics additionally count raw frames and
-//! bytes, which is what lets the multi-process harness cross-check
-//! `net.frames_out + net.frames_in == dht.messages`.
+//! The `messages` counter increments by 2 for every op whose
+//! request/response pair completes (the RPC-pair convention pinned in
+//! the conformance suite — a batch of k ops that completes counts 2·k
+//! messages even though only two frames moved); `lookups` increments for
+//! successful put/get, matching `RingDht`. Transport failures count
+//! nothing — no response arrived, so no pair completed, and every op
+//! riding the failed frame maps to [`DhtError::Timeout`]. `net.*`
+//! metrics additionally count raw frames and bytes, with batch frames
+//! broken out under `net.batch.*`, which is what lets the multi-process
+//! harness cross-check frames against message accounting.
 
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -73,9 +87,29 @@ struct Member {
     conn: Mutex<Option<TcpStream>>,
 }
 
-/// A transport-level failure: no response frame arrived. Distinct from a
-/// remote [`DhtError`], which is a *successful* RPC reporting a fault.
-struct Transport;
+/// One routed member's in-flight frame pair during a pipelined batch.
+/// The connection guard is held from write to read so the reply phase
+/// reads the same stream the request went out on.
+struct InFlight<'a> {
+    slot: MutexGuard<'a, Option<TcpStream>>,
+    id: u64,
+    /// `true` when the frame was a [`Message::Batch`] (two or more ops);
+    /// single-op groups travel as plain unary requests.
+    batch: bool,
+    started: Instant,
+    /// `(original op index, op kind)` in send order.
+    group: Vec<(usize, &'static str)>,
+}
+
+/// Marks every op riding a failed member frame as a transient timeout.
+fn fail_group(
+    results: &mut [Option<Result<DhtResponse, DhtError>>],
+    group: &[(usize, &'static str)],
+) {
+    for &(index, _) in group {
+        results[index] = Some(Err(DhtError::Timeout));
+    }
+}
 
 /// A DHT client speaking the `crates/net` wire protocol to a cluster of
 /// `dhtd` servers, implementing the same [`Dht`] trait the in-process
@@ -172,98 +206,166 @@ impl RemoteDht {
         Ok(stream)
     }
 
-    /// One RPC round-trip against `member`. The outer `Err(Transport)`
-    /// means no response frame arrived (and the pooled connection was
-    /// dropped); the inner result is whatever the server answered.
-    fn call(&self, member: &Member, op: DhtOp) -> Result<Result<DhtResponse, DhtError>, Transport> {
-        let mut slot = member.conn.lock().expect("connection pool poisoned");
-        if slot.is_none() {
-            match self.dial(member.addr) {
-                Ok(stream) => *slot = Some(stream),
-                Err(_) => {
-                    self.metrics.incr("net.connect_errors");
-                    return Err(Transport);
-                }
-            }
+    /// Applies the ring accounting convention to one completed RPC
+    /// result: +2 messages per pair, +1 lookup for successful put/get.
+    fn complete(
+        &self,
+        kind: &'static str,
+        result: Result<DhtResponse, DhtError>,
+    ) -> Result<DhtResponse, DhtError> {
+        self.messages.fetch_add(2, Ordering::Relaxed);
+        if result.is_ok() && matches!(kind, "put" | "get") {
+            self.lookups.fetch_add(1, Ordering::Relaxed);
         }
-        let stream = slot.as_mut().expect("connection just ensured");
-        let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
-        let started = Instant::now();
-        let sent = match write_message(stream, &Message::Request { id, op }) {
-            Ok(bytes) => bytes,
-            Err(_) => {
-                self.metrics.incr("net.transport_errors");
-                *slot = None;
-                return Err(Transport);
-            }
-        };
-        self.metrics.incr("net.frames_out");
-        self.metrics.add("net.bytes_out", sent as u64);
-        let (reply, received) = match read_message(stream) {
-            Ok(ok) => ok,
-            Err(RecvError::Closed) | Err(RecvError::Io(_)) => {
-                self.metrics.incr("net.transport_errors");
-                *slot = None;
-                return Err(Transport);
-            }
-            Err(RecvError::Wire(_)) => {
-                self.metrics.incr("net.decode_errors");
-                *slot = None;
-                return Err(Transport);
-            }
-        };
-        self.metrics.incr("net.frames_in");
-        self.metrics.add("net.bytes_in", received as u64);
-        match reply {
-            Message::Response {
-                id: reply_id,
-                result,
-            } if reply_id == id => {
-                self.metrics
-                    .observe("net.rpc_micros", started.elapsed().as_micros() as u64);
-                Ok(result)
-            }
-            // A mismatched id or an unexpected message kind means the
-            // stream is out of sync; drop it rather than guess.
-            _ => {
-                self.metrics.incr("net.decode_errors");
-                *slot = None;
-                Err(Transport)
-            }
-        }
+        result
     }
 
-    /// Routes a storage op to the responsible member and applies the
-    /// ring accounting convention: +2 messages per completed RPC pair,
-    /// +1 lookup for successful put/get.
-    fn remote_op(&self, op: DhtOp) -> Result<DhtResponse, DhtError> {
-        let kind = op.kind();
-        let owner = self.owner_key(op.key()).ok_or(DhtError::NoLiveNodes)?;
-        let member = &self.members[&owner];
-        self.metrics.incr(&format!("net.ops.{kind}"));
-        match self.call(member, op) {
-            Ok(result) => {
-                self.messages.fetch_add(2, Ordering::Relaxed);
-                if result.is_ok() && matches!(kind, "put" | "get") {
-                    self.lookups.fetch_add(1, Ordering::Relaxed);
-                }
-                result
-            }
-            Err(Transport) => Err(DhtError::Timeout),
+    /// The one wire code path: executes a batch with one frame pair per
+    /// routed member.
+    ///
+    /// `NodeFor` ops are answered locally at zero message cost. Storage
+    /// ops are grouped by owner in ring order; a single-op group travels
+    /// as a plain unary `Request` (byte-identical to a v1 build's
+    /// traffic), a multi-op group as one [`Message::Batch`]. Every frame
+    /// is written before any reply is read, so member servers work
+    /// concurrently. A member's transport failure poisons its pooled
+    /// connection and maps all of its ops to [`DhtError::Timeout`];
+    /// nothing is counted for them, because no pair completed.
+    fn execute_many_inner(&self, ops: Vec<DhtOp>) -> Vec<Result<DhtResponse, DhtError>> {
+        if self.members.is_empty() {
+            return ops
+                .into_iter()
+                .map(|_| Err(DhtError::NoLiveNodes))
+                .collect();
         }
+        let mut results: Vec<Option<Result<DhtResponse, DhtError>>> = vec![None; ops.len()];
+        let mut groups: BTreeMap<Key, Vec<(usize, DhtOp)>> = BTreeMap::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            let owner = self
+                .owner_key(op.key())
+                .expect("non-empty member list has an owner");
+            match op {
+                DhtOp::NodeFor(_) => {
+                    results[i] = Some(Ok(DhtResponse::Node(self.members[&owner].id)));
+                }
+                op => {
+                    self.metrics.incr(&format!("net.ops.{}", op.kind()));
+                    groups.entry(owner).or_default().push((i, op));
+                }
+            }
+        }
+        // Write phase: one frame per member, all requests on the wire
+        // before the first reply is awaited. Connection guards are held
+        // in ring order, so concurrent batches cannot deadlock.
+        let mut in_flight: Vec<InFlight<'_>> = Vec::with_capacity(groups.len());
+        for (owner, group) in groups {
+            let member = &self.members[&owner];
+            let meta: Vec<(usize, &'static str)> =
+                group.iter().map(|(i, op)| (*i, op.kind())).collect();
+            let mut slot = member.conn.lock().expect("connection pool poisoned");
+            if slot.is_none() {
+                match self.dial(member.addr) {
+                    Ok(stream) => *slot = Some(stream),
+                    Err(_) => {
+                        self.metrics.incr("net.connect_errors");
+                        fail_group(&mut results, &meta);
+                        continue;
+                    }
+                }
+            }
+            let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+            let batch = group.len() > 1;
+            let msg = if batch {
+                Message::Batch {
+                    id,
+                    ops: group.into_iter().map(|(_, op)| op).collect(),
+                }
+            } else {
+                let (_, op) = group.into_iter().next().expect("single-op group");
+                Message::Request { id, op }
+            };
+            let started = Instant::now();
+            let stream = slot.as_mut().expect("connection just ensured");
+            match write_message(stream, &msg) {
+                Ok(sent) => {
+                    self.metrics.incr("net.frames_out");
+                    self.metrics.add("net.bytes_out", sent as u64);
+                    if batch {
+                        self.metrics.incr("net.batch.frames_out");
+                    }
+                    in_flight.push(InFlight {
+                        slot,
+                        id,
+                        batch,
+                        started,
+                        group: meta,
+                    });
+                }
+                Err(_) => {
+                    self.metrics.incr("net.transport_errors");
+                    *slot = None;
+                    fail_group(&mut results, &meta);
+                }
+            }
+        }
+        // Read phase, same member order: each reply settles its whole
+        // group, with per-op accounting identical to the unary sequence.
+        for mut flight in in_flight {
+            let stream = flight.slot.as_mut().expect("stream pending a reply");
+            let (reply, received) = match read_message(stream) {
+                Ok(ok) => ok,
+                Err(RecvError::Closed) | Err(RecvError::Io(_)) => {
+                    self.metrics.incr("net.transport_errors");
+                    *flight.slot = None;
+                    fail_group(&mut results, &flight.group);
+                    continue;
+                }
+                Err(RecvError::Wire(_)) => {
+                    self.metrics.incr("net.decode_errors");
+                    *flight.slot = None;
+                    fail_group(&mut results, &flight.group);
+                    continue;
+                }
+            };
+            self.metrics.incr("net.frames_in");
+            self.metrics.add("net.bytes_in", received as u64);
+            let elapsed = flight.started.elapsed().as_micros() as u64;
+            match reply {
+                Message::Response { id, result } if !flight.batch && id == flight.id => {
+                    self.metrics.observe("net.rpc_micros", elapsed);
+                    let (index, kind) = flight.group[0];
+                    results[index] = Some(self.complete(kind, result));
+                }
+                Message::BatchReply {
+                    id,
+                    results: answers,
+                } if flight.batch && id == flight.id && answers.len() == flight.group.len() => {
+                    self.metrics.incr("net.batch.frames_in");
+                    self.metrics.add("net.batch.ops", answers.len() as u64);
+                    self.metrics.observe("net.batch.rpc_micros", elapsed);
+                    for (&(index, kind), result) in flight.group.iter().zip(answers) {
+                        results[index] = Some(self.complete(kind, result));
+                    }
+                }
+                // A mismatched id, kind, or result count means the stream
+                // is out of sync; drop it rather than guess.
+                _ => {
+                    self.metrics.incr("net.decode_errors");
+                    *flight.slot = None;
+                    fail_group(&mut results, &flight.group);
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every op resolved exactly once"))
+            .collect()
     }
 
     fn execute_inner(&self, op: DhtOp) -> Result<DhtResponse, DhtError> {
-        if self.members.is_empty() {
-            return Err(DhtError::NoLiveNodes);
-        }
-        match op {
-            DhtOp::NodeFor(key) => {
-                let owner = self.owner_key(&key).expect("non-empty member list");
-                Ok(DhtResponse::Node(self.members[&owner].id))
-            }
-            op => self.remote_op(op),
-        }
+        self.execute_many_inner(vec![op])
+            .pop()
+            .expect("one result per op")
     }
 }
 
@@ -279,6 +381,17 @@ impl Dht for RemoteDht {
         result
     }
 
+    fn execute_many(&mut self, ops: Vec<DhtOp>) -> Vec<Result<DhtResponse, DhtError>> {
+        if !self.metrics.is_enabled() {
+            return self.execute_many_inner(ops);
+        }
+        let kinds: Vec<&'static str> = ops.iter().map(|op| op.kind()).collect();
+        let before = self.stats();
+        let results = self.execute_many_inner(ops);
+        dht_api::record_many(&self.metrics, &kinds, before, self.stats(), &results);
+        results
+    }
+
     fn node_for(&self, key: &Key) -> Option<NodeId> {
         self.owner_key(key).map(|k| self.members[&k].id)
     }
@@ -288,10 +401,7 @@ impl Dht for RemoteDht {
     }
 
     fn get(&self, key: &Key) -> Vec<Bytes> {
-        if self.members.is_empty() {
-            return Vec::new();
-        }
-        match self.remote_op(DhtOp::Get(*key)) {
+        match self.execute_inner(DhtOp::Get(*key)) {
             Ok(response) => response.into_values(),
             Err(_) => Vec::new(),
         }
@@ -413,6 +523,72 @@ mod tests {
         assert!(ring.remove(&Key::hash_of("item-0"), b"value-0"));
 
         assert_eq!(remote.stats(), ring.stats(), "accounting must be identical");
+        remote.shutdown_members();
+    }
+
+    #[test]
+    fn execute_many_matches_unary_twin_and_batches_frames() {
+        let ids: Vec<Key> = (0..3).map(|i| Key::hash_of(&format!("node-{i}"))).collect();
+        let servers: Vec<DhtServer> = ids
+            .iter()
+            .map(|id| {
+                DhtServer::spawn(
+                    Box::new(RingDht::from_ids([*id])),
+                    "127.0.0.1:0",
+                    ServerConfig::default(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let members: Vec<(NodeId, SocketAddr)> = ids
+            .iter()
+            .zip(&servers)
+            .map(|(id, s)| (NodeId::from_key(*id), s.local_addr()))
+            .collect();
+        let metrics = MetricsRegistry::new();
+        let mut remote = RemoteDht::connect(members, RemoteDhtConfig::default());
+        remote.set_metrics(metrics.clone());
+        let mut ring = RingDht::from_ids(ids);
+
+        let mut ops: Vec<DhtOp> = Vec::new();
+        for i in 0..10 {
+            ops.push(DhtOp::Put {
+                key: Key::hash_of(&format!("batch-item-{i}")),
+                value: Bytes::from(format!("value-{i}")),
+            });
+        }
+        for i in 0..10 {
+            let key = Key::hash_of(&format!("batch-item-{i}"));
+            ops.push(DhtOp::Get(key));
+            ops.push(DhtOp::NodeFor(key));
+        }
+        ops.push(DhtOp::Remove {
+            key: Key::hash_of("batch-item-0"),
+            value: Bytes::from_static(b"value-0"),
+        });
+
+        let remote_results = remote.execute_many(ops.clone());
+        let ring_results = ring.execute_many(ops);
+        assert_eq!(
+            remote_results, ring_results,
+            "batch must equal the unary sequence"
+        );
+        assert_eq!(
+            remote.stats(),
+            ring.stats(),
+            "batch accounting keeps the 2-messages-per-op convention"
+        );
+
+        let frames_out = metrics.counter("net.frames_out");
+        assert!(
+            frames_out <= 3,
+            "one frame pair per routed member, not per op (got {frames_out})"
+        );
+        assert_eq!(frames_out, metrics.counter("net.frames_in"));
+        assert!(
+            metrics.counter("net.batch.ops") > 0,
+            "the batch wire path must actually be exercised"
+        );
         remote.shutdown_members();
     }
 }

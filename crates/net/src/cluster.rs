@@ -141,6 +141,10 @@ impl Dht for ClusterDht {
         self.client.execute(op)
     }
 
+    fn execute_many(&mut self, ops: Vec<DhtOp>) -> Vec<Result<DhtResponse, DhtError>> {
+        self.client.execute_many(ops)
+    }
+
     fn node_for(&self, key: &Key) -> Option<NodeId> {
         self.client.node_for(key)
     }

@@ -8,13 +8,16 @@
 //!   [`DhtOp`](p2p_index_dht::DhtOp) /
 //!   [`DhtResponse`](p2p_index_dht::DhtResponse) /
 //!   [`DhtError`](p2p_index_dht::DhtError), with request ids for
-//!   pipelining and strict typed rejection of malformed frames. The frame
-//!   format is specified byte-by-byte in `DESIGN.md` §11.
+//!   pipelining, `Batch`/`BatchReply` frames carrying many ops per
+//!   round-trip, and strict typed rejection of malformed frames. The
+//!   frame format is specified byte-by-byte in `DESIGN.md` §11.
 //! - [`server`] — [`DhtServer`], the threaded `dhtd` daemon: an accept
 //!   loop plus per-connection worker threads serving one node's storage
 //!   partition of any substrate. Exposed as `repro serve`.
 //! - [`client`] — [`RemoteDht`], the [`Dht`](p2p_index_dht::Dht) trait
-//!   over pooled TCP connections. Transport failures map to the transient
+//!   over pooled TCP connections; `execute_many` routes a whole batch as
+//!   one pipelined frame pair per member. Transport failures map to the
+//!   transient
 //!   [`DhtError::Timeout`](p2p_index_dht::DhtError::Timeout), so
 //!   `IndexService`'s retry policy and the whole indexing stack run
 //!   unchanged over real sockets.
@@ -37,4 +40,4 @@ pub mod wire;
 pub use client::{RemoteDht, RemoteDhtConfig};
 pub use cluster::{ClusterDht, LoopbackCluster};
 pub use server::{DhtServer, ServerConfig};
-pub use wire::{Message, RecvError, WireError, MAX_PAYLOAD, VERSION};
+pub use wire::{Message, RecvError, WireError, MAX_PAYLOAD, VERSION, VERSION_BATCH};

@@ -241,12 +241,43 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     }
                 }
             }
+            Message::Batch { id, ops } => {
+                // A whole batch executes in one connection turn: the
+                // substrate lock is taken once, every op runs in order,
+                // and a single BatchReply answers them all.
+                let count = ops.len() as u64;
+                let kinds: Vec<&'static str> = ops.iter().map(|op| op.kind()).collect();
+                let results = {
+                    let mut dht = shared.dht.lock().expect("server substrate poisoned");
+                    dht.execute_many(ops)
+                };
+                shared.served.fetch_add(count, Ordering::Relaxed);
+                shared.metrics.incr("net.server.batches");
+                shared.metrics.add("net.server.batch_ops", count);
+                for (kind, result) in kinds.iter().zip(&results) {
+                    shared.metrics.incr(&format!("net.server.ops.{kind}"));
+                    if result.is_err() {
+                        shared.metrics.incr("net.server.op_errors");
+                    }
+                }
+                let reply = Message::BatchReply { id, results };
+                match write_message(&mut stream, &reply) {
+                    Ok(bytes_out) => {
+                        shared.metrics.incr("net.server.frames_out");
+                        shared.metrics.add("net.server.bytes_out", bytes_out as u64);
+                    }
+                    Err(_) => {
+                        shared.metrics.incr("net.server.transport_errors");
+                        return;
+                    }
+                }
+            }
             Message::Shutdown => {
                 shared.metrics.incr("net.server.shutdowns");
                 shared.stop.store(true, Ordering::SeqCst);
                 return;
             }
-            Message::Response { .. } => {
+            Message::Response { .. } | Message::BatchReply { .. } => {
                 // Clients must not send responses; treat as protocol abuse.
                 shared.metrics.incr("net.server.decode_errors");
                 return;
@@ -307,6 +338,48 @@ mod tests {
             }
         );
         assert_eq!(server.ops_served(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_a_whole_batch_in_one_turn() {
+        let server = spawn_ring();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let key = Key::hash_of("batch-key");
+        write_message(
+            &mut stream,
+            &Message::Batch {
+                id: 7,
+                ops: vec![
+                    DhtOp::Put {
+                        key,
+                        value: Bytes::from_static(b"v"),
+                    },
+                    DhtOp::Get(key),
+                    DhtOp::Remove {
+                        key,
+                        value: Bytes::from_static(b"absent"),
+                    },
+                ],
+            },
+        )
+        .unwrap();
+        let (reply, _) = read_message(&mut stream).unwrap();
+        assert_eq!(
+            reply,
+            Message::BatchReply {
+                id: 7,
+                results: vec![
+                    Ok(DhtResponse::Stored(true)),
+                    Ok(DhtResponse::Values(vec![Bytes::from_static(b"v")])),
+                    Ok(DhtResponse::Removed(false)),
+                ],
+            }
+        );
+        assert_eq!(server.ops_served(), 3, "a batch op counts like a unary op");
         server.shutdown();
     }
 

@@ -7,9 +7,10 @@
 //! offset  size  field
 //! ------  ----  -----------------------------------------------------
 //!      0     4  magic        "PDHT"
-//!      4     1  version      0x01
+//!      4     1  version      0x01 unary kinds | 0x02 batch kinds
 //!      5     1  kind         0x01 request | 0x02 ok-response |
-//!                            0x03 err-response | 0x04 shutdown
+//!                            0x03 err-response | 0x04 shutdown |
+//!                            0x05 batch | 0x06 batch-reply
 //!      6     8  request id   big-endian u64 (0 for shutdown)
 //!     14     4  payload len  big-endian u32, <= MAX_PAYLOAD
 //!     18     n  payload      kind-specific, see below
@@ -18,15 +19,28 @@
 //! Request payloads carry one [`DhtOp`]; ok-responses one [`DhtResponse`];
 //! err-responses a 2-byte [`DhtError`] wire code (unknown codes decode into
 //! the forward-compatible [`DhtError::Unknown`] catch-all, *not* a codec
-//! failure). Decoding is strict everywhere else: wrong magic, an
-//! unsupported version, an unknown frame kind or opcode, an oversized
-//! length prefix, a short payload, or trailing payload bytes are all typed
-//! [`WireError`]s — never a panic, never a silent truncation.
+//! failure). Batch frames carry a `u32` op count followed by that many
+//! encoded ops; batch-replies a `u32` result count followed by that many
+//! status-prefixed results (see DESIGN.md §11 for the byte-level spec).
+//! Decoding is strict everywhere else: wrong magic, an unsupported
+//! version, an unknown frame kind or opcode, an oversized length prefix,
+//! a short payload, an empty batch, or trailing payload bytes are all
+//! typed [`WireError`]s — never a panic, never a silent truncation.
+//!
+//! Versioning: the four original kinds are encoded at [`VERSION`] (0x01)
+//! byte-for-byte as every prior build wrote them, so unary traffic
+//! interoperates across builds. The two batch kinds are encoded at
+//! [`VERSION_BATCH`] (0x02); a batch kind under version 0x01 is rejected
+//! as [`WireError::UnknownKind`] — exactly what a genuine v1 peer would
+//! say — and any other version byte is [`WireError::UnsupportedVersion`].
+//! There is no in-band negotiation: a client must not send batch frames
+//! to a server it does not know to be v2-capable.
 //!
 //! The request id exists for pipelining: a client may have several frames
 //! in flight on one connection and match responses by id. The bundled
-//! [`RemoteDht`](crate::client::RemoteDht) keeps one outstanding request
-//! per pooled connection and still verifies the echoed id.
+//! [`RemoteDht`](crate::client::RemoteDht) pipelines one frame pair per
+//! routed member during [`execute_many`](p2p_index_dht::Dht::execute_many)
+//! and still verifies the echoed id on every reply.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -37,8 +51,13 @@ use p2p_index_dht::{DhtError, DhtOp, DhtResponse, Key, NodeId};
 /// The 4-byte magic that opens every frame.
 pub const MAGIC: [u8; 4] = *b"PDHT";
 
-/// The protocol version this build speaks.
+/// The protocol version of the four original (unary) frame kinds.
 pub const VERSION: u8 = 1;
+
+/// The protocol version that introduced the batch frame kinds. Unary
+/// kinds keep encoding at [`VERSION`]; only batch/batch-reply frames
+/// carry this byte.
+pub const VERSION_BATCH: u8 = 2;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 18;
@@ -52,6 +71,20 @@ const KIND_REQUEST: u8 = 0x01;
 const KIND_OK: u8 = 0x02;
 const KIND_ERR: u8 = 0x03;
 const KIND_SHUTDOWN: u8 = 0x04;
+const KIND_BATCH: u8 = 0x05;
+const KIND_BATCH_REPLY: u8 = 0x06;
+
+/// Per-result status byte inside a batch-reply payload.
+const BATCH_OK: u8 = 0x00;
+const BATCH_ERR: u8 = 0x01;
+
+/// Smallest possible encoded op (opcode + 20-byte key): the divisor for
+/// the batch count-before-allocation guard.
+const MIN_OP_LEN: usize = 21;
+
+/// Smallest possible encoded batch result (status + tag + bool, or
+/// status + 2-byte error code): divisor for the batch-reply guard.
+const MIN_RESULT_LEN: usize = 3;
 
 const OP_NODE_FOR: u8 = 0x01;
 const OP_PUT: u8 = 0x02;
@@ -79,6 +112,25 @@ pub enum Message {
         id: u64,
         /// The outcome of executing the request's operation.
         result: Result<DhtResponse, DhtError>,
+    },
+    /// A client batch: execute every op in order and answer all of them
+    /// with one [`Message::BatchReply`] carrying the same `id`.
+    ///
+    /// Encoded at [`VERSION_BATCH`]; the op vector is never empty (an
+    /// empty batch is a [`WireError::BadPayload`] on decode).
+    Batch {
+        /// Caller-chosen id echoed in the batch reply.
+        id: u64,
+        /// The operations to execute, in order.
+        ops: Vec<DhtOp>,
+    },
+    /// A server's answer to a [`Message::Batch`]: one result per op, in
+    /// the same order. Encoded at [`VERSION_BATCH`].
+    BatchReply {
+        /// The id of the batch being answered.
+        id: u64,
+        /// Per-op outcomes, positionally matching the batch's ops.
+        results: Vec<Result<DhtResponse, DhtError>>,
     },
     /// Ask the server to stop accepting, drain its workers, and exit.
     Shutdown,
@@ -118,7 +170,7 @@ impl fmt::Display for WireError {
             WireError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported protocol version {v} (this build speaks {VERSION})"
+                    "unsupported protocol version {v} (this build speaks {VERSION} and {VERSION_BATCH})"
                 )
             }
             WireError::UnknownKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
@@ -166,17 +218,22 @@ impl From<WireError> for RecvError {
 }
 
 /// Appends the encoded frame for `msg` to `buf`.
+///
+/// Unary kinds encode at [`VERSION`] (byte-identical to every prior
+/// build); batch kinds carry [`VERSION_BATCH`].
 pub fn encode_message(msg: &Message, buf: &mut Vec<u8>) {
-    let (kind, id) = match msg {
-        Message::Request { id, .. } => (KIND_REQUEST, *id),
+    let (version, kind, id) = match msg {
+        Message::Request { id, .. } => (VERSION, KIND_REQUEST, *id),
         Message::Response { id, result } => match result {
-            Ok(_) => (KIND_OK, *id),
-            Err(_) => (KIND_ERR, *id),
+            Ok(_) => (VERSION, KIND_OK, *id),
+            Err(_) => (VERSION, KIND_ERR, *id),
         },
-        Message::Shutdown => (KIND_SHUTDOWN, 0),
+        Message::Batch { id, .. } => (VERSION_BATCH, KIND_BATCH, *id),
+        Message::BatchReply { id, .. } => (VERSION_BATCH, KIND_BATCH_REPLY, *id),
+        Message::Shutdown => (VERSION, KIND_SHUTDOWN, 0),
     };
     buf.extend_from_slice(&MAGIC);
-    buf.push(VERSION);
+    buf.push(version);
     buf.push(kind);
     buf.extend_from_slice(&id.to_be_bytes());
     let len_at = buf.len();
@@ -187,6 +244,27 @@ pub fn encode_message(msg: &Message, buf: &mut Vec<u8>) {
             Ok(resp) => encode_response(resp, buf),
             Err(e) => buf.extend_from_slice(&e.wire_code().to_be_bytes()),
         },
+        Message::Batch { ops, .. } => {
+            buf.extend_from_slice(&(ops.len() as u32).to_be_bytes());
+            for op in ops {
+                encode_op(op, buf);
+            }
+        }
+        Message::BatchReply { results, .. } => {
+            buf.extend_from_slice(&(results.len() as u32).to_be_bytes());
+            for result in results {
+                match result {
+                    Ok(resp) => {
+                        buf.push(BATCH_OK);
+                        encode_response(resp, buf);
+                    }
+                    Err(e) => {
+                        buf.push(BATCH_ERR);
+                        buf.extend_from_slice(&e.wire_code().to_be_bytes());
+                    }
+                }
+            }
+        }
         Message::Shutdown => {}
     }
     let payload_len = (buf.len() - len_at - 4) as u32;
@@ -306,6 +384,10 @@ impl<'a> Reader<'a> {
         Ok(Bytes::copy_from_slice(self.take(len)?))
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
     fn finish(self) -> Result<(), WireError> {
         if self.at != self.buf.len() {
             return Err(WireError::TrailingBytes(self.buf.len() - self.at));
@@ -327,8 +409,9 @@ pub fn decode_message(buf: &[u8]) -> Result<(Message, usize), WireError> {
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    if buf[4] != VERSION {
-        return Err(WireError::UnsupportedVersion(buf[4]));
+    let version = buf[4];
+    if version != VERSION && version != VERSION_BATCH {
+        return Err(WireError::UnsupportedVersion(version));
     }
     let kind = buf[5];
     let id = u64::from_be_bytes(buf[6..14].try_into().expect("fixed slice"));
@@ -341,54 +424,68 @@ pub fn decode_message(buf: &[u8]) -> Result<(Message, usize), WireError> {
         return Err(WireError::Truncated);
     }
     let payload = &buf[HEADER_LEN..HEADER_LEN + payload_len];
-    let msg = decode_payload(kind, id, payload)?;
+    let msg = decode_payload(version, kind, id, payload)?;
     Ok((msg, HEADER_LEN + payload_len))
 }
 
-fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Message, WireError> {
+/// One encoded [`DhtOp`], shared by unary request and batch payloads.
+fn decode_op(r: &mut Reader<'_>) -> Result<DhtOp, WireError> {
+    Ok(match r.u8()? {
+        OP_NODE_FOR => DhtOp::NodeFor(r.key()?),
+        OP_PUT => DhtOp::Put {
+            key: r.key()?,
+            value: r.bytes()?,
+        },
+        OP_GET => DhtOp::Get(r.key()?),
+        OP_REMOVE => DhtOp::Remove {
+            key: r.key()?,
+            value: r.bytes()?,
+        },
+        other => return Err(WireError::UnknownOpcode(other)),
+    })
+}
+
+/// One encoded [`DhtResponse`], shared by ok-response and batch-reply
+/// payloads.
+fn decode_response(r: &mut Reader<'_>) -> Result<DhtResponse, WireError> {
+    Ok(match r.u8()? {
+        RESP_NODE => DhtResponse::Node(NodeId::from_key(r.key()?)),
+        RESP_STORED => DhtResponse::Stored(r.bool()?),
+        RESP_VALUES => {
+            let count = r.u32()? as usize;
+            // Each value costs at least its 4-byte length prefix, so an
+            // absurd count fails before any allocation.
+            if count > r.remaining() / 4 {
+                return Err(WireError::Truncated);
+            }
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(r.bytes()?);
+            }
+            DhtResponse::Values(values)
+        }
+        RESP_REMOVED => DhtResponse::Removed(r.bool()?),
+        other => return Err(WireError::UnknownResponseTag(other)),
+    })
+}
+
+fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Message, WireError> {
+    // Batch kinds exist only at VERSION_BATCH. Under a v1 header they are
+    // rejected exactly as a genuine v1 peer would reject them: as an
+    // unknown kind, not a version failure.
+    if version < VERSION_BATCH && matches!(kind, KIND_BATCH | KIND_BATCH_REPLY) {
+        return Err(WireError::UnknownKind(kind));
+    }
     let mut r = Reader::new(payload);
     let msg = match kind {
-        KIND_REQUEST => {
-            let op = match r.u8()? {
-                OP_NODE_FOR => DhtOp::NodeFor(r.key()?),
-                OP_PUT => DhtOp::Put {
-                    key: r.key()?,
-                    value: r.bytes()?,
-                },
-                OP_GET => DhtOp::Get(r.key()?),
-                OP_REMOVE => DhtOp::Remove {
-                    key: r.key()?,
-                    value: r.bytes()?,
-                },
-                other => return Err(WireError::UnknownOpcode(other)),
-            };
-            Message::Request { id, op }
-        }
-        KIND_OK => {
-            let resp = match r.u8()? {
-                RESP_NODE => DhtResponse::Node(NodeId::from_key(r.key()?)),
-                RESP_STORED => DhtResponse::Stored(r.bool()?),
-                RESP_VALUES => {
-                    let count = r.u32()? as usize;
-                    // Each value costs at least its 4-byte length prefix,
-                    // so an absurd count fails before any allocation.
-                    if count > payload.len() / 4 {
-                        return Err(WireError::Truncated);
-                    }
-                    let mut values = Vec::with_capacity(count);
-                    for _ in 0..count {
-                        values.push(r.bytes()?);
-                    }
-                    DhtResponse::Values(values)
-                }
-                RESP_REMOVED => DhtResponse::Removed(r.bool()?),
-                other => return Err(WireError::UnknownResponseTag(other)),
-            };
-            Message::Response {
-                id,
-                result: Ok(resp),
-            }
-        }
+        KIND_REQUEST => Message::Request {
+            id,
+            op: decode_op(&mut r)?,
+        },
+        KIND_OK => Message::Response {
+            id,
+            result: Ok(decode_response(&mut r)?),
+        },
         KIND_ERR => {
             // Unknown error codes are forward-compatible by design: they
             // decode into DhtError::Unknown, not a codec failure.
@@ -397,6 +494,46 @@ fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Message, WireErro
                 id,
                 result: Err(DhtError::from_wire_code(code)),
             }
+        }
+        KIND_BATCH => {
+            let count = r.u32()? as usize;
+            if count == 0 {
+                return Err(WireError::BadPayload("batch must contain at least one op"));
+            }
+            // Each op costs at least an opcode plus a 20-byte key, so an
+            // absurd count fails before any allocation.
+            if count > r.remaining() / MIN_OP_LEN {
+                return Err(WireError::Truncated);
+            }
+            let mut ops = Vec::with_capacity(count);
+            for _ in 0..count {
+                ops.push(decode_op(&mut r)?);
+            }
+            Message::Batch { id, ops }
+        }
+        KIND_BATCH_REPLY => {
+            let count = r.u32()? as usize;
+            if count == 0 {
+                return Err(WireError::BadPayload(
+                    "batch reply must contain at least one result",
+                ));
+            }
+            if count > r.remaining() / MIN_RESULT_LEN {
+                return Err(WireError::Truncated);
+            }
+            let mut results = Vec::with_capacity(count);
+            for _ in 0..count {
+                results.push(match r.u8()? {
+                    BATCH_OK => Ok(decode_response(&mut r)?),
+                    BATCH_ERR => Err(DhtError::from_wire_code(r.u16()?)),
+                    _ => {
+                        return Err(WireError::BadPayload(
+                            "batch result status must be 0 (ok) or 1 (err)",
+                        ))
+                    }
+                });
+            }
+            Message::BatchReply { id, results }
         }
         KIND_SHUTDOWN => Message::Shutdown,
         other => return Err(WireError::UnknownKind(other)),
@@ -429,8 +566,9 @@ pub fn read_message(r: &mut impl Read) -> Result<(Message, usize), RecvError> {
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic).into());
     }
-    if header[4] != VERSION {
-        return Err(WireError::UnsupportedVersion(header[4]).into());
+    let version = header[4];
+    if version != VERSION && version != VERSION_BATCH {
+        return Err(WireError::UnsupportedVersion(version).into());
     }
     let kind = header[5];
     let id = u64::from_be_bytes(header[6..14].try_into().expect("fixed slice"));
@@ -440,7 +578,7 @@ pub fn read_message(r: &mut impl Read) -> Result<(Message, usize), RecvError> {
     }
     let mut payload = vec![0u8; payload_len as usize];
     read_exact_from(r, &mut payload).map_err(RecvError::Io)?;
-    let msg = decode_payload(kind, id, &payload)?;
+    let msg = decode_payload(version, kind, id, &payload)?;
     Ok((msg, HEADER_LEN + payload.len()))
 }
 
@@ -528,6 +666,78 @@ mod tests {
             });
         }
         roundtrip(Message::Shutdown);
+        roundtrip(Message::Batch {
+            id: 14,
+            ops: vec![
+                DhtOp::Get(key),
+                DhtOp::Put {
+                    key,
+                    value: Bytes::from_static(b"batched"),
+                },
+                DhtOp::NodeFor(key),
+            ],
+        });
+        roundtrip(Message::BatchReply {
+            id: 14,
+            results: vec![
+                Ok(DhtResponse::Values(vec![Bytes::from_static(b"v")])),
+                Ok(DhtResponse::Stored(true)),
+                Err(DhtError::Timeout),
+            ],
+        });
+    }
+
+    #[test]
+    fn batch_frames_carry_the_batch_version() {
+        let buf = encode_to_vec(&Message::Batch {
+            id: 1,
+            ops: vec![DhtOp::Get(Key::hash_of("k"))],
+        });
+        assert_eq!(buf[4], VERSION_BATCH);
+        let buf = encode_to_vec(&Message::BatchReply {
+            id: 1,
+            results: vec![Ok(DhtResponse::Stored(true))],
+        });
+        assert_eq!(buf[4], VERSION_BATCH);
+        // Unary frames are untouched: still version 1.
+        let buf = encode_to_vec(&Message::Request {
+            id: 1,
+            op: DhtOp::Get(Key::hash_of("k")),
+        });
+        assert_eq!(buf[4], VERSION);
+    }
+
+    #[test]
+    fn batch_kind_under_v1_is_rejected_as_unknown_kind() {
+        // A genuine v1 peer would say "unknown kind 0x05", so a v1 header
+        // smuggling a batch kind must fail the same way — not decode.
+        let mut buf = encode_to_vec(&Message::Batch {
+            id: 3,
+            ops: vec![DhtOp::Get(Key::hash_of("k"))],
+        });
+        buf[4] = VERSION;
+        assert_eq!(decode_message(&buf), Err(WireError::UnknownKind(0x05)));
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        // Hand-build a batch frame whose count is zero: header + u32(0).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION_BATCH);
+        buf.push(0x05);
+        buf.extend_from_slice(&1u64.to_be_bytes());
+        buf.extend_from_slice(&4u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        assert!(matches!(
+            decode_message(&buf),
+            Err(WireError::BadPayload(_))
+        ));
+        buf[5] = 0x06; // same payload as a batch reply
+        assert!(matches!(
+            decode_message(&buf),
+            Err(WireError::BadPayload(_))
+        ));
     }
 
     #[test]

@@ -18,8 +18,11 @@
 use bytes::Bytes;
 use p2p_index_dht::{DhtError, DhtOp, DhtResponse, Key, NodeId, SplitMix64};
 use p2p_index_net::wire::{decode_message, encode_to_vec, HEADER_LEN, MAX_PAYLOAD};
-use p2p_index_net::{Message, WireError, VERSION};
+use p2p_index_net::{Message, WireError, VERSION, VERSION_BATCH};
 use proptest::prelude::*;
+
+/// Number of distinct shapes `rng_message` cycles through.
+const VARIANTS: usize = 15;
 
 fn rng_key(rng: &mut SplitMix64) -> Key {
     let mut digest = [0u8; 20];
@@ -35,10 +38,40 @@ fn rng_value(rng: &mut SplitMix64) -> Bytes {
     Bytes::from((0..len).map(|_| rng.next_u64() as u8).collect::<Vec<u8>>())
 }
 
+fn rng_op(rng: &mut SplitMix64, variant: usize) -> DhtOp {
+    match variant % 4 {
+        0 => DhtOp::NodeFor(rng_key(rng)),
+        1 => DhtOp::Put {
+            key: rng_key(rng),
+            value: rng_value(rng),
+        },
+        2 => DhtOp::Get(rng_key(rng)),
+        _ => DhtOp::Remove {
+            key: rng_key(rng),
+            value: rng_value(rng),
+        },
+    }
+}
+
+fn rng_result(rng: &mut SplitMix64, variant: usize) -> Result<DhtResponse, DhtError> {
+    match variant % 8 {
+        0 => Ok(DhtResponse::Node(NodeId::from_key(rng_key(rng)))),
+        1 => Ok(DhtResponse::Stored(rng.next_u64().is_multiple_of(2))),
+        2 => Ok(DhtResponse::Values(
+            (0..rng.next_u64() % 5).map(|_| rng_value(rng)).collect(),
+        )),
+        3 => Ok(DhtResponse::Removed(rng.next_u64().is_multiple_of(2))),
+        4 => Err(DhtError::Timeout),
+        5 => Err(DhtError::NoLiveNodes),
+        6 => Err(DhtError::StorageFull),
+        _ => Err(DhtError::from_wire_code(rng.next_u64() as u16)),
+    }
+}
+
 /// A message cycling through every variant, with rng-derived contents.
 fn rng_message(rng: &mut SplitMix64, variant: usize) -> Message {
     let id = rng.next_u64();
-    match variant % 13 {
+    match variant % VARIANTS {
         0 => Message::Request {
             id,
             op: DhtOp::NodeFor(rng_key(rng)),
@@ -95,6 +128,18 @@ fn rng_message(rng: &mut SplitMix64, variant: usize) -> Message {
             id,
             result: Err(DhtError::from_wire_code(rng.next_u64() as u16)),
         },
+        12 => Message::Batch {
+            id,
+            ops: (0..1 + (rng.next_u64() % 4) as usize)
+                .map(|i| rng_op(rng, variant + i))
+                .collect(),
+        },
+        13 => Message::BatchReply {
+            id,
+            results: (0..1 + (rng.next_u64() % 4) as usize)
+                .map(|i| rng_result(rng, variant + i))
+                .collect(),
+        },
         _ => Message::Shutdown,
     }
 }
@@ -114,7 +159,7 @@ fn assert_total(buf: &[u8]) {
 #[test]
 fn roundtrip_deterministic() {
     let mut rng = SplitMix64::new(0x5eed);
-    for variant in 0..13 * 40 {
+    for variant in 0..VARIANTS * 40 {
         assert_roundtrip(&rng_message(&mut rng, variant));
     }
 }
@@ -134,7 +179,7 @@ fn decoder_is_total_on_corrupted_valid_frames_deterministic() {
     // Start from real frames and flip one byte at a time: every mutation
     // must decode to something or fail typed, never panic.
     let mut rng = SplitMix64::new(0xc0de);
-    for variant in 0..13 {
+    for variant in 0..VARIANTS {
         let buf = encode_to_vec(&rng_message(&mut rng, variant));
         for at in 0..buf.len() {
             let mut corrupted = buf.clone();
@@ -147,7 +192,7 @@ fn decoder_is_total_on_corrupted_valid_frames_deterministic() {
 #[test]
 fn every_truncation_is_rejected_without_panic() {
     let mut rng = SplitMix64::new(7);
-    for variant in 0..13 {
+    for variant in 0..VARIANTS {
         let buf = encode_to_vec(&rng_message(&mut rng, variant));
         for cut in 0..buf.len() {
             assert_eq!(
@@ -174,7 +219,7 @@ fn oversized_length_prefix_is_rejected_before_allocation() {
 fn every_foreign_version_is_rejected() {
     let good = encode_to_vec(&Message::Shutdown);
     for version in 0..=u8::MAX {
-        if version == VERSION {
+        if version == VERSION || version == VERSION_BATCH {
             continue;
         }
         let mut frame = good.clone();
@@ -190,7 +235,7 @@ fn every_foreign_version_is_rejected() {
 fn trailing_bytes_are_rejected() {
     // A frame whose payload outlives its message is corrupt, not padded.
     let mut rng = SplitMix64::new(11);
-    for variant in 0..13 {
+    for variant in 0..VARIANTS {
         let mut buf = encode_to_vec(&rng_message(&mut rng, variant));
         buf.push(0);
         let len = u32::from_be_bytes(buf[14..18].try_into().unwrap()) + 1;
@@ -214,6 +259,70 @@ fn unknown_error_codes_decode_as_catch_all_not_failure() {
                 id: 1,
                 result: Err(DhtError::Unknown(code)),
             }
+        );
+    }
+}
+
+/// Hand-assembles a frame with the given header fields and payload.
+fn raw_frame(version: u8, kind: u8, id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(b"PDHT");
+    frame.push(version);
+    frame.push(kind);
+    frame.extend_from_slice(&id.to_be_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+#[test]
+fn empty_batches_are_rejected() {
+    // count == 0 is not a no-op, it's a protocol violation: a frame
+    // carrying no work should never have been sent.
+    for kind in [0x05u8, 0x06] {
+        let frame = raw_frame(VERSION_BATCH, kind, 7, &0u32.to_be_bytes());
+        assert!(
+            matches!(decode_message(&frame), Err(WireError::BadPayload(_))),
+            "kind 0x{kind:02x}"
+        );
+    }
+}
+
+#[test]
+fn oversized_batch_count_is_rejected_before_allocation() {
+    // A batch claiming u32::MAX ops in a 4-byte payload must fail on
+    // arithmetic alone — Vec::with_capacity never sees attacker numbers.
+    for kind in [0x05u8, 0x06] {
+        let frame = raw_frame(VERSION_BATCH, kind, 7, &u32::MAX.to_be_bytes());
+        assert_eq!(
+            decode_message(&frame),
+            Err(WireError::Truncated),
+            "kind 0x{kind:02x}"
+        );
+    }
+}
+
+#[test]
+fn batch_cut_at_every_byte_is_truncated() {
+    // Shrink a valid batch payload byte by byte, fixing up the length
+    // header so the *frame* stays self-consistent: a batch whose ops
+    // outrun its payload is Truncated at every cut point, never a
+    // phantom shorter batch.
+    let mut rng = SplitMix64::new(21);
+    let msg = Message::Batch {
+        id: 9,
+        ops: vec![rng_op(&mut rng, 1), rng_op(&mut rng, 3)],
+    };
+    let buf = encode_to_vec(&msg);
+    for cut in HEADER_LEN..buf.len() {
+        let mut frame = buf[..cut].to_vec();
+        let len = (cut - HEADER_LEN) as u32;
+        frame[14..18].copy_from_slice(&len.to_be_bytes());
+        assert_eq!(
+            decode_message(&frame),
+            Err(WireError::Truncated),
+            "payload cut to {} bytes",
+            cut - HEADER_LEN
         );
     }
 }
@@ -259,6 +368,22 @@ proptest! {
         assert_roundtrip(&Message::Response { id, result });
     }
 
+    /// Batches and batch replies of arbitrary mixed contents roundtrip.
+    #[test]
+    fn prop_batches_roundtrip(
+        id in any::<u64>(),
+        seed in any::<u64>(),
+        count in 1usize..6,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let ops: Vec<DhtOp> = (0..count).map(|i| rng_op(&mut rng, i)).collect();
+        assert_roundtrip(&Message::Batch { id, ops });
+        let mut rng = SplitMix64::new(seed ^ 0xb17c4);
+        let results: Vec<Result<DhtResponse, DhtError>> =
+            (0..count).map(|i| rng_result(&mut rng, i)).collect();
+        assert_roundtrip(&Message::BatchReply { id, results });
+    }
+
     /// The decoder is total: arbitrary byte soup never panics.
     #[test]
     fn prop_decoder_is_total(buf in proptest::collection::vec(any::<u8>(), 0..256)) {
@@ -268,7 +393,7 @@ proptest! {
     /// Any prefix of any valid frame is Truncated — there is no cut point
     /// that yields a different error or a phantom message.
     #[test]
-    fn prop_prefixes_truncate(seed in any::<u64>(), variant in 0usize..13) {
+    fn prop_prefixes_truncate(seed in any::<u64>(), variant in 0usize..VARIANTS) {
         let mut rng = SplitMix64::new(seed);
         let buf = encode_to_vec(&rng_message(&mut rng, variant));
         for cut in 0..buf.len() {

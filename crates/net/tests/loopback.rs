@@ -87,9 +87,11 @@ fn index_service_over_sockets_equals_in_process() {
 
 #[test]
 fn net_frames_cross_check_message_accounting() {
-    // The pinned convention: every completed RPC is one request frame out
-    // plus one response frame in, and counts as 2 messages. So the net.*
-    // frame counters and the dht messages counter must agree exactly.
+    // The pinned convention: every *completed op* counts as 2 messages,
+    // whether it travelled alone (one Request/Response frame pair) or
+    // pipelined inside a Batch/BatchReply pair with its siblings. So the
+    // net.* frame counters, the net.batch.* breakout, and the dht
+    // messages counter must agree exactly.
     let cluster = LoopbackCluster::start_ring(3).expect("loopback cluster");
     let metrics = MetricsRegistry::new();
     let mut client = cluster.client();
@@ -107,13 +109,26 @@ fn net_frames_cross_check_message_accounting() {
 
     let frames_out = metrics.counter("net.frames_out");
     let frames_in = metrics.counter("net.frames_in");
+    let batch_out = metrics.counter("net.batch.frames_out");
+    let batch_in = metrics.counter("net.batch.frames_in");
+    let batch_ops = metrics.counter("net.batch.ops");
     let messages = service.dht().stats().messages;
     assert!(frames_out > 0, "the workload must actually hit the wire");
+    assert!(
+        batch_ops > 0,
+        "the multi-get fast path must have pipelined at least one batch"
+    );
     assert_eq!(frames_out, frames_in, "every request frame got a response");
     assert_eq!(
-        frames_out + frames_in,
+        batch_out, batch_in,
+        "every batch frame got a batch reply frame"
+    );
+    let unary_out = frames_out - batch_out;
+    let unary_in = frames_in - batch_in;
+    assert_eq!(
+        unary_out + unary_in + 2 * batch_ops,
         messages,
-        "2 messages per RPC pair: frames and message accounting must agree"
+        "2 messages per completed op: frames and message accounting must agree"
     );
     assert_eq!(
         metrics.counter("dht.messages"),
@@ -122,8 +137,8 @@ fn net_frames_cross_check_message_accounting() {
     );
     assert_eq!(
         cluster.ops_served(),
-        frames_out,
-        "servers answered exactly the requests the client sent"
+        unary_out + batch_ops,
+        "servers answered exactly the ops the client sent"
     );
     cluster.shutdown();
 }

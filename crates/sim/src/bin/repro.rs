@@ -327,6 +327,18 @@ fn bench(cfg: &EvalConfig, jobs: usize, csv_dir: &Option<PathBuf>, metrics_path:
          {parallel_secs:.3} s, speedup {speedup:.2}x",
         grid.len()
     );
+    let grid_warning = if speedup < 1.0 {
+        eprintln!(
+            "# WARNING: speedup < 1 — the parallel grid ({par_jobs} jobs, \
+             {parallel_secs:.3} s) ran SLOWER than serial ({serial_secs:.3} s); \
+             parallelism is hurting on this machine"
+        );
+        format!(
+            ", \"warning\": \"speedup < 1: parallel grid ({par_jobs} jobs) slower than serial\""
+        )
+    } else {
+        String::new()
+    };
 
     // Loopback RPC micro-bench: real sockets, single-node server, get and
     // put at 1 and 8 client threads (median of 3 samples per cell).
@@ -338,7 +350,7 @@ fn bench(cfg: &EvalConfig, jobs: usize, csv_dir: &Option<PathBuf>, metrics_path:
            \"cell\": {{ \"scheme\": \"simple\", \"policy\": \"single-cache\", \
                         \"wall_clock_s\": {cell_secs:.6}, \"queries_per_sec\": {queries_per_sec:.1} }},\n  \
            \"grid\": {{ \"cells\": {}, \"serial_s\": {serial_secs:.6}, \"jobs\": {par_jobs}, \
-                        \"parallel_s\": {parallel_secs:.6}, \"speedup\": {speedup:.3} }},\n  \
+                        \"parallel_s\": {parallel_secs:.6}, \"speedup\": {speedup:.3}{grid_warning} }},\n  \
            \"net\": {net_json}\n}}\n",
         cfg.nodes,
         cfg.articles,

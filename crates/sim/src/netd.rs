@@ -25,6 +25,7 @@ use p2p_index_dht::{
     RingDht,
 };
 use p2p_index_net::{DhtServer, LoopbackCluster, RemoteDht, RemoteDhtConfig, ServerConfig};
+use p2p_index_obs::MetricsRegistry;
 use p2p_index_workload::{Corpus, CorpusConfig, QueryGenerator, StructureMix};
 
 /// Options for the `repro serve` daemon.
@@ -288,11 +289,66 @@ fn net_bench_cell(cluster: &LoopbackCluster, op: &'static str, threads: usize) -
     }
 }
 
+/// One measured side of the fan-out bench: the frame count and latency
+/// of fetching `k` keys, either one `execute` at a time or as a single
+/// `execute_many` batch.
+struct FanoutCell {
+    frames_per_fanout: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Measures a k-key multi-get against `cluster` — the shape a search's
+/// child fan-out takes — over a fresh metered client. Unary issues 2·k
+/// frames per fan-out; batched issues one frame pair per routed member,
+/// independent of k.
+fn fanout_cell(cluster: &LoopbackCluster, k: usize, batched: bool) -> FanoutCell {
+    const ROUNDS: usize = 60;
+    let metrics = MetricsRegistry::new();
+    let mut client = cluster.client();
+    client.set_metrics(metrics.clone());
+    let keys: Vec<Key> = (0..k)
+        .map(|i| Key::hash_of(&format!("fanout-{i}")))
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        client
+            .execute(DhtOp::Put {
+                key: *key,
+                value: bytes::Bytes::from(format!("payload-{i}")),
+            })
+            .expect("seed put on live loopback");
+    }
+    let seeded = metrics.counter("net.frames_out") + metrics.counter("net.frames_in");
+    let mut lats = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let at = Instant::now();
+        if batched {
+            let ops: Vec<DhtOp> = keys.iter().map(|key| DhtOp::Get(*key)).collect();
+            for result in client.execute_many(ops) {
+                result.expect("bench get on live loopback");
+            }
+        } else {
+            for key in &keys {
+                client.execute(DhtOp::Get(*key)).expect("bench get");
+            }
+        }
+        lats.push(at.elapsed().as_micros() as u64);
+    }
+    let frames = metrics.counter("net.frames_out") + metrics.counter("net.frames_in") - seeded;
+    lats.sort_unstable();
+    FanoutCell {
+        frames_per_fanout: frames as f64 / ROUNDS as f64,
+        p50_us: percentile(&lats, 50.0),
+        p99_us: percentile(&lats, 99.0),
+    }
+}
+
 /// The loopback RPC micro-benchmark: get and put at 1 and 8 client
-/// threads against a single-node loopback server. Each cell is sampled 3
-/// times and the median by throughput is reported. Returns the `net`
-/// JSON object for `BENCH_results.json` (and prints a summary line per
-/// cell on stderr).
+/// threads against a single-node loopback server, plus a k-child
+/// fan-out exhibit (unary vs batched multi-get) under the `batch` key.
+/// Each throughput cell is sampled 3 times and the median by throughput
+/// is reported. Returns the `net` JSON object for `BENCH_results.json`
+/// (and prints a summary line per cell on stderr).
 pub fn net_bench() -> String {
     let cluster = LoopbackCluster::start_ring(1).expect("loopback bench cluster binds");
     let mut cells = Vec::new();
@@ -315,6 +371,23 @@ pub fn net_bench() -> String {
         }
     }
     cluster.shutdown();
+
+    // Fan-out exhibit: the k-child multi-get a search issues after
+    // resolving an index node, unary vs batched, over a multi-member
+    // ring so the batch actually splits across connections.
+    const FANOUT_K: usize = 16;
+    const FANOUT_MEMBERS: usize = 4;
+    let fan_cluster =
+        LoopbackCluster::start_ring(FANOUT_MEMBERS).expect("fan-out bench cluster binds");
+    let unary = fanout_cell(&fan_cluster, FANOUT_K, false);
+    let batch = fanout_cell(&fan_cluster, FANOUT_K, true);
+    fan_cluster.shutdown();
+    eprintln!(
+        "# net fan-out k={FANOUT_K} over {FANOUT_MEMBERS} members: \
+         unary {:.1} frames/fan-out (p50 {} us), batched {:.1} frames/fan-out (p50 {} us)",
+        unary.frames_per_fanout, unary.p50_us, batch.frames_per_fanout, batch.p50_us
+    );
+
     let body = cells
         .iter()
         .map(|c| {
@@ -326,9 +399,18 @@ pub fn net_bench() -> String {
         })
         .collect::<Vec<_>>()
         .join(",\n    ");
+    let fanout_json = |c: &FanoutCell| {
+        format!(
+            "{{ \"frames_per_fanout\": {:.1}, \"p50_us\": {}, \"p99_us\": {} }}",
+            c.frames_per_fanout, c.p50_us, c.p99_us
+        )
+    };
     format!(
         "{{ \"transport\": \"tcp-loopback\", \"samples\": 3, \"statistic\": \"median\", \
-         \"cells\": [\n    {body}\n  ] }}"
+         \"cells\": [\n    {body}\n  ],\n  \"batch\": {{ \"k\": {FANOUT_K}, \
+         \"members\": {FANOUT_MEMBERS}, \"unary\": {}, \"batched\": {} }} }}",
+        fanout_json(&unary),
+        fanout_json(&batch)
     )
 }
 
@@ -374,6 +456,28 @@ mod tests {
                 "{kind}"
             );
         }
+    }
+
+    #[test]
+    fn batched_fanout_costs_one_frame_pair_per_member() {
+        // The acceptance claim behind `net.batch`: a k-child fan-out is
+        // 2·k frames unary, but at most one frame pair per routed member
+        // batched — independent of k.
+        let cluster = LoopbackCluster::start_ring(4).expect("loopback cluster binds");
+        let unary = fanout_cell(&cluster, 8, false);
+        let batch = fanout_cell(&cluster, 8, true);
+        cluster.shutdown();
+        assert!(
+            (unary.frames_per_fanout - 16.0).abs() < 1e-9,
+            "unary: 2 frames per child at k=8, got {}",
+            unary.frames_per_fanout
+        );
+        assert!(
+            batch.frames_per_fanout <= 8.0 + 1e-9,
+            "batched: at most one frame pair per member over 4 members, got {}",
+            batch.frames_per_fanout
+        );
+        assert!(batch.frames_per_fanout < unary.frames_per_fanout);
     }
 
     #[test]

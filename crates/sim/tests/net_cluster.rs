@@ -115,8 +115,9 @@ fn remote_cluster_workload_equals_in_process_run() {
 }
 
 /// net.* frame counters must agree with the substrate's
-/// 2-messages-per-RPC-pair accounting: every completed request/response
-/// pair is one frame out, one frame in, and two DHT messages.
+/// 2-messages-per-completed-op accounting: a lone op is one
+/// request/response frame pair, a batch of k is one Batch/BatchReply
+/// frame pair carrying k ops — two DHT messages per op either way.
 #[test]
 fn net_frame_counters_match_message_accounting() {
     let children = spawn_cluster(3, &[]);
@@ -130,15 +131,68 @@ fn net_frame_counters_match_message_accounting() {
     let snap = metrics.snapshot();
     let frames_out = snap.counter("net.frames_out");
     let frames_in = snap.counter("net.frames_in");
+    let batch_out = snap.counter("net.batch.frames_out");
+    let batch_in = snap.counter("net.batch.frames_in");
+    let batch_ops = snap.counter("net.batch.ops");
     assert!(frames_out > 0, "no frames sent — vacuous");
+    assert!(
+        batch_ops > 0,
+        "the multi-get fast path never pipelined a batch"
+    );
     assert_eq!(frames_out, frames_in, "every request frame got a response");
+    assert_eq!(batch_out, batch_in, "every batch frame got a batch reply");
     assert_eq!(
-        frames_out + frames_in,
+        (frames_out - batch_out) + (frames_in - batch_in) + 2 * batch_ops,
         outcome.messages,
-        "2-messages-per-RPC-pair accounting drifted from wire frame counts"
+        "2-messages-per-op accounting drifted from wire frame counts"
     );
     assert_eq!(snap.counter("net.transport_errors"), 0);
     assert_eq!(snap.counter("net.decode_errors"), 0);
+
+    shutdown_cluster(children, &addrs);
+}
+
+/// `execute_many` against real `dhtd` processes: results and per-op
+/// stats identical to an in-process `RingDht` twin, with the wire cost
+/// collapsed to one pipelined frame pair per routed member.
+#[test]
+fn batched_ops_against_live_daemons_match_in_process_twin() {
+    const NODES: usize = 5;
+    let children = spawn_cluster(NODES, &[]);
+    let addrs = members(&children);
+
+    let metrics = MetricsRegistry::new();
+    let mut client = remote_client(&addrs);
+    client.set_metrics(metrics.clone());
+    let mut twin = RingDht::with_named_nodes(NODES);
+
+    let mut ops = Vec::new();
+    for i in 0..40usize {
+        let key = p2p_index_dht::Key::hash_of(&format!("batch-key-{}", i % 13));
+        ops.push(match i % 4 {
+            0 | 1 => p2p_index_dht::DhtOp::Put {
+                key,
+                value: bytes::Bytes::from(format!("v{i}")),
+            },
+            2 => p2p_index_dht::DhtOp::Get(key),
+            _ => p2p_index_dht::DhtOp::NodeFor(key),
+        });
+    }
+    let remote = client.execute_many(ops.clone());
+    let local = twin.execute_many(ops);
+    assert_eq!(remote, local, "batched results diverged from the twin");
+    assert_eq!(client.stats(), twin.stats(), "per-op accounting diverged");
+
+    let snap = metrics.snapshot();
+    assert!(
+        snap.counter("net.batch.ops") > 0,
+        "a 40-op batch over 5 members must have pipelined"
+    );
+    assert_eq!(
+        snap.counter("net.batch.frames_out"),
+        snap.counter("net.batch.frames_in"),
+        "every batch frame got a batch reply"
+    );
 
     shutdown_cluster(children, &addrs);
 }
