@@ -146,7 +146,10 @@ impl ShortcutCache {
                 self.metrics.incr("cache.insert.unchanged");
                 return false;
             }
-            slot.targets = vec![target];
+            // Reuse the slot's buffer: replace-on-write is the cache's
+            // steady state under popular queries, so it must not allocate.
+            slot.targets.clear();
+            slot.targets.push(target);
             self.metrics.incr("cache.insert.replaced");
             return true;
         }

@@ -21,6 +21,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::error::Error;
 use std::fmt;
 
+use bytes::Bytes;
 use p2p_index_dht::{Dht, DhtError, DhtOp, DhtResponse, Key, NodeId, SplitMix64};
 use p2p_index_obs::{MetricsRegistry, Trace, TraceRecorder};
 use p2p_index_xmldoc::Descriptor;
@@ -180,6 +181,37 @@ impl SearchReport {
     }
 }
 
+/// Reusable BFS state for [`IndexService::search`]: the sets, queues, and
+/// level buffers a search needs are kept on the service and cleared between
+/// searches, so a query burst pays for their capacity once instead of
+/// reallocating per search.
+#[derive(Debug, Default)]
+struct SearchScratch {
+    /// Queries whose index entries were already fetched (or enqueued).
+    visited: HashSet<Query>,
+    /// Phase-2 BFS queue of `(query, its index entries)`.
+    queue: VecDeque<(Query, StepResponse)>,
+    /// Generalizations already probed (or queued for probing).
+    seen: HashSet<Query>,
+    /// Next generalization level being accumulated.
+    frontier: Vec<Query>,
+    /// Current generalization level (one batched probe wave).
+    level: Vec<Query>,
+    /// Fresh child queries referenced by the node being expanded.
+    children: Vec<Query>,
+}
+
+impl SearchScratch {
+    fn clear(&mut self) {
+        self.visited.clear();
+        self.queue.clear();
+        self.seen.clear();
+        self.frontier.clear();
+        self.level.clear();
+        self.children.clear();
+    }
+}
+
 /// The distributed index service over a DHT substrate.
 ///
 /// # Examples
@@ -217,6 +249,17 @@ pub struct IndexService<D> {
     /// most once per service lifetime; steady-state lookups only pay a
     /// `HashMap` probe on the query's memoized canonical text.
     key_cache: HashMap<Query, Key>,
+    /// Interned `wire bytes → target` decodes: each distinct stored value is
+    /// parsed at most once per service lifetime. Steady-state lookups hand
+    /// back a cheap clone (`Arc` bumps for query targets) instead of
+    /// re-parsing the same query text on every `Get` that returns it. Like
+    /// `key_cache` this memoizes a pure function of the bytes, so entries
+    /// can never go stale.
+    decode_cache: HashMap<Bytes, IndexTarget>,
+    /// Reusable scratch buffers for [`search`](Self::search): the BFS
+    /// queue/visited sets and the generalization frontier survive across
+    /// searches instead of being reallocated per query.
+    search_scratch: SearchScratch,
     /// Observability sink (disabled by default; see [`set_metrics`](Self::set_metrics)).
     metrics: MetricsRegistry,
     /// Active lookup trace, if [`start_trace`](Self::start_trace) is pending.
@@ -243,6 +286,8 @@ impl<D: Dht> IndexService<D> {
             retry_stats: RetryStats::default(),
             sim_clock_ms: 0,
             key_cache: HashMap::new(),
+            decode_cache: HashMap::new(),
+            search_scratch: SearchScratch::default(),
             metrics: MetricsRegistry::default(),
             tracer: None,
         }
@@ -311,12 +356,40 @@ impl<D: Dht> IndexService<D> {
     /// while the attempt budget lasts; structural faults and exhausted
     /// budgets surface as errors.
     ///
-    /// A unary call is just a batch of one — there is exactly one code
-    /// path issuing DHT work, [`dht_execute_many`](Self::dht_execute_many).
+    /// Semantically a unary call is a batch of one, and the per-attempt
+    /// accounting (retry stats, metrics, trace events, backoff clock)
+    /// is identical to [`dht_execute_many`](Self::dht_execute_many) on a
+    /// singleton batch. It is implemented directly — not by allocating a
+    /// one-element batch — because unary ops are the lookup hot path and
+    /// the batch plumbing costs four `Vec` allocations per op.
     fn dht_execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
-        self.dht_execute_many(vec![op])
-            .pop()
-            .expect("one result per op")
+        let may_retry = self.retry.max_attempts > 1;
+        // Cloned only while a retry is actually possible, exactly like the
+        // batched path's `retained` slots.
+        let retained = if may_retry { Some(op.clone()) } else { None };
+        let kind = op.kind();
+        self.retry_stats.attempts += 1;
+        self.metrics.incr("retry.attempts");
+        let result = self.dht.execute(op);
+        if let Some(t) = &mut self.tracer {
+            let event = match &result {
+                Ok(resp) => format!("dht {kind} -> {}", describe_response(resp)),
+                Err(e) => format!("dht {kind} attempt 1 -> {e}"),
+            };
+            t.event(event);
+        }
+        match result {
+            Ok(resp) => Ok(resp),
+            Err(e) if e.is_transient() && may_retry => {
+                let op = retained.expect("op retained while retries remain");
+                self.retry_tail(kind, op)
+            }
+            Err(e) => {
+                self.retry_stats.gave_up += 1;
+                self.metrics.incr("retry.gave_up");
+                Err(e)
+            }
+        }
     }
 
     /// Issues a batch of *independent* DHT operations under the retry
@@ -440,6 +513,27 @@ impl<D: Dht> IndexService<D> {
         k
     }
 
+    /// Decodes the values returned by a `Get` through the intern table:
+    /// each distinct wire value is parsed once, after which decoding is a
+    /// hash probe plus a cheap clone. This is the lookup hot path — every
+    /// query resolution decodes a handful of stored values, and most of
+    /// them recur across lookups.
+    fn decode_targets(&mut self, values: Vec<Bytes>) -> Result<Vec<IndexTarget>, IndexError> {
+        let mut out = Vec::with_capacity(values.len());
+        for bytes in values {
+            let target = match self.decode_cache.get(&bytes) {
+                Some(t) => t.clone(),
+                None => {
+                    let t = IndexTarget::from_bytes(&bytes)?;
+                    self.decode_cache.insert(bytes, t.clone());
+                    t
+                }
+            };
+            out.push(target);
+        }
+        Ok(out)
+    }
+
     /// The underlying DHT (read-only).
     pub fn dht(&self) -> &D {
         &self.dht
@@ -507,11 +601,20 @@ impl<D: Dht> IndexService<D> {
     /// Publishes a file: stores it under its MSD key and installs all index
     /// edges produced by `scheme`. Returns the MSD.
     ///
+    /// The file entry and every index edge are independent `Put`s, so the
+    /// whole publication goes to the substrate as **one**
+    /// [`Dht::execute_many`] wave — on a networked substrate that is one
+    /// pipelined frame pair instead of a round trip per edge, the same
+    /// batching win the multi-get lookup path gets.
+    ///
     /// # Errors
     ///
     /// [`IndexError::EmptyNetwork`] without live nodes;
     /// [`IndexError::NotCovering`] if the scheme emits an edge `(from, to)`
-    /// with `from ⋣ to` — nothing is inserted past the offending edge.
+    /// with `from ⋣ to` — every edge is validated up front, before any
+    /// insert is issued, so a non-covering scheme publishes nothing at all.
+    /// DHT faults surface as the first failed op's error; the other ops in
+    /// the wave were still attempted (and retried) independently.
     pub fn publish(
         &mut self,
         descriptor: &Descriptor,
@@ -522,13 +625,30 @@ impl<D: Dht> IndexService<D> {
             return Err(IndexError::EmptyNetwork);
         }
         let msd = Query::most_specific(descriptor);
+        let edges = scheme.index_edges(descriptor, &msd);
+        for (from, to) in &edges {
+            if !from.covers(to) {
+                return Err(IndexError::NotCovering {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                });
+            }
+        }
+        let mut ops = Vec::with_capacity(1 + edges.len());
         let msd_key = self.cached_key(&msd);
-        self.dht_execute(DhtOp::Put {
+        ops.push(DhtOp::Put {
             key: msd_key,
             value: IndexTarget::File(file.into()).to_bytes(),
-        })?;
-        for (from, to) in scheme.index_edges(descriptor, &msd) {
-            self.insert_mapping(from, to)?;
+        });
+        for (from, to) in edges {
+            let from_key = self.cached_key(&from);
+            ops.push(DhtOp::Put {
+                key: from_key,
+                value: IndexTarget::Query(to).to_bytes(),
+            });
+        }
+        for result in self.dht_execute_many(ops) {
+            result?;
         }
         self.metrics.incr("index.publish");
         Ok(msd)
@@ -665,11 +785,8 @@ impl<D: Dht> IndexService<D> {
         };
 
         let indexed: Vec<IndexTarget> = if cached.is_empty() {
-            self.dht_execute(DhtOp::Get(key))?
-                .into_values()
-                .iter()
-                .map(|b| IndexTarget::from_bytes(b))
-                .collect::<Result<_, _>>()?
+            let values = self.dht_execute(DhtOp::Get(key))?.into_values();
+            self.decode_targets(values)?
         } else {
             Vec::new()
         };
@@ -745,11 +862,7 @@ impl<D: Dht> IndexService<D> {
         let node = node_result?.into_node().ok_or(IndexError::EmptyNetwork)?;
         *self.node_queries.entry(node).or_insert(0) += 1;
         self.metrics.incr("index.lookups.bypass");
-        let indexed: Vec<IndexTarget> = get_result?
-            .into_values()
-            .iter()
-            .map(|b| IndexTarget::from_bytes(b))
-            .collect::<Result<_, _>>()?;
+        let indexed: Vec<IndexTarget> = self.decode_targets(get_result?.into_values())?;
         let request = query.canonical_text().len() as u64;
         let response: u64 = indexed.iter().map(|t| t.encoded_len() as u64).sum();
         self.traffic.record_exchange(request, response);
@@ -874,10 +987,32 @@ impl<D: Dht> IndexService<D> {
     }
 
     fn search_inner(&mut self, query: &Query) -> Result<SearchReport, IndexError> {
+        // The BFS state lives in service-owned scratch buffers so repeated
+        // searches reuse their allocations instead of growing fresh
+        // sets/queues per query. Taken out for the duration of the search
+        // (the buffers hold no borrows) and put back even on error.
+        let mut scratch = std::mem::take(&mut self.search_scratch);
+        let result = self.search_with_scratch(query, &mut scratch);
+        scratch.clear();
+        self.search_scratch = scratch;
+        result
+    }
+
+    fn search_with_scratch(
+        &mut self,
+        query: &Query,
+        scratch: &mut SearchScratch,
+    ) -> Result<SearchReport, IndexError> {
         let retry_before = self.retry_stats;
         let mut report = SearchReport::default();
-        let mut visited: HashSet<Query> = HashSet::new();
-        let mut queue: VecDeque<(Query, StepResponse)> = VecDeque::new();
+        let SearchScratch {
+            visited,
+            queue,
+            seen,
+            frontier,
+            level,
+            children,
+        } = scratch;
 
         // Phase 1: find indexed entry points — the query itself, or
         // (for non-indexed queries) its generalizations, breadth-first.
@@ -890,25 +1025,44 @@ impl<D: Dht> IndexService<D> {
         visited.insert(query.clone());
         queue.push_back((query.clone(), first));
         if query_not_indexed {
-            let mut seen: HashSet<Query> = HashSet::new();
-            let mut frontier: VecDeque<Query> = query.generalizations().into();
-            while let Some(g) = frontier.pop_front() {
-                if !seen.insert(g.clone()) {
-                    continue;
+            query.generalizations_into(frontier);
+            // Each generalization level is a wave of independent probes:
+            // the whole level goes through one batched multi-get (one
+            // pipelined frame pair per routed member on a networked
+            // substrate) and the replies are consumed in chain order, so
+            // the first indexed ancestor found is the same one the
+            // one-probe-at-a-time loop would have entered through.
+            'generalize: while !frontier.is_empty() {
+                level.clear();
+                for g in frontier.drain(..) {
+                    if seen.insert(g.clone()) {
+                        level.push(g);
+                    }
                 }
-                report.generalization_steps += 1;
-                if let Some(t) = &mut self.tracer {
-                    t.event(format!("generalize -> {g}"));
+                for g in level.iter() {
+                    report.generalization_steps += 1;
+                    report.interactions += 1;
+                    if let Some(t) = &mut self.tracer {
+                        t.event(format!("generalize -> {g}"));
+                    }
                 }
-                let Some(resp) = self.lookup_or_abandon(&g, &mut report)? else {
-                    frontier.extend(g.generalizations());
-                    continue;
-                };
-                if resp.indexed.is_empty() {
-                    frontier.extend(g.generalizations());
-                } else if visited.insert(g.clone()) {
-                    queue.push_back((g, resp));
-                    break;
+                let results = self.lookup_many_bypassing_cache(level);
+                for (g, result) in level.iter().zip(results) {
+                    let resp = match result {
+                        Ok(resp) => resp,
+                        Err(IndexError::Dht(_)) => {
+                            report.completeness.abandoned += 1;
+                            g.generalizations_into(frontier);
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    if resp.indexed.is_empty() {
+                        g.generalizations_into(frontier);
+                    } else if visited.insert(g.clone()) {
+                        queue.push_back((g.clone(), resp));
+                        break 'generalize;
+                    }
                 }
             }
         }
@@ -918,7 +1072,7 @@ impl<D: Dht> IndexService<D> {
         // independent, so they are fetched through one batched multi-get
         // per dequeued node instead of one RPC pair per child.
         while let Some((current, resp)) = queue.pop_front() {
-            let mut children: Vec<Query> = Vec::new();
+            children.clear();
             for target in resp.all_targets() {
                 match target {
                     IndexTarget::File(f) => {
@@ -945,8 +1099,8 @@ impl<D: Dht> IndexService<D> {
                 continue;
             }
             report.interactions += children.len() as u32;
-            let results = self.lookup_many_bypassing_cache(&children);
-            for (child, result) in children.into_iter().zip(results) {
+            let results = self.lookup_many_bypassing_cache(children);
+            for (child, result) in children.drain(..).zip(results) {
                 match result {
                     Ok(r) => queue.push_back((child, r)),
                     Err(IndexError::Dht(_)) => report.completeness.abandoned += 1,
@@ -1453,9 +1607,18 @@ mod tests {
             IndexError::Dht(p2p_index_dht::DhtError::Timeout)
         );
         let stats = s.retry_stats();
-        assert_eq!(stats.attempts, 2, "budget of 2 means exactly 2 attempts");
-        assert_eq!(stats.retries, 1);
-        assert_eq!(stats.gave_up, 1);
+        // Publish issues its whole put wave as one batch; under total loss
+        // every op in the wave burns its own retry budget (one MSD put plus
+        // one put per index edge).
+        let msd = Query::most_specific(&d);
+        let puts = 1 + SimpleScheme.index_edges(&d, &msd).len() as u64;
+        assert_eq!(
+            stats.attempts,
+            2 * puts,
+            "budget of 2 means exactly 2 attempts per batched op"
+        );
+        assert_eq!(stats.retries, puts);
+        assert_eq!(stats.gave_up, puts);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! repro <exhibit> [--small] [--nodes N] [--articles N] [--queries N]
 //!                 [--seed N] [--csv DIR] [--jobs N] [--metrics FILE]
+//!                 [--profile] [--allow-regression]
 //! repro trace <query> [--small] [...]
 //! repro serve [--substrate ring|chord|kademlia|pastry] [--port N]
 //!             [--node-name NAME] [--loss F] [--fault-seed N]
@@ -29,11 +30,19 @@
 //! lookup tracing enabled, and pretty-prints the span tree: generalization
 //! steps, index hops, per-hop DHT operations, cache probes.
 //!
-//! `bench` times one fixed cell and the full figure grid (serial, then
-//! parallel) and writes `BENCH_results.json` next to the CSVs. Every
-//! timing is the median of 3 runs after a warmup pass, so the JSON is
-//! diff-stable across repeated invocations. It also measures loopback
-//! RPC throughput/latency over real sockets (the `net` section).
+//! `bench` times one fixed cell, then sweeps the full figure grid over
+//! `--jobs {1, 2, 4, 8}` and records the speedup curve in
+//! `BENCH_results.json` next to the CSVs. Every timing is the median of 3
+//! runs after a warmup pass. The bench defends itself: if any sweep point
+//! that actually runs multiple workers is *slower* than serial, it exits
+//! non-zero (opt out with `--allow-regression`). Sweep points whose worker
+//! count clamps to 1 (host has one core, so the executor degenerates to
+//! the serial path) are reported but exempt from the gate. It also
+//! measures loopback RPC throughput/latency over real sockets (the `net`
+//! section). `--profile` adds a per-phase breakdown of the reference cell
+//! (corpus / publish / queries): wall-clock always, allocation counts when
+//! the binary was built with `--features alloc-profile` (which swaps in a
+//! counting global allocator).
 //!
 //! `serve` runs one networked DHT node (`dhtd`): a single-node substrate
 //! partition behind the `crates/net` wire protocol, until it receives a
@@ -43,14 +52,16 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use p2p_index_core::CachePolicy;
-use p2p_index_sim::exec::resolve_jobs;
+use p2p_index_sim::exec::{effective_workers, resolve_jobs};
 use p2p_index_sim::experiments::{self, EvalConfig, Evaluation};
 use p2p_index_sim::netd::{self, ServeOptions};
 use p2p_index_sim::simulation::{SchemeChoice, SimConfig, Simulation};
 use p2p_index_sim::table::TextTable;
+use p2p_index_workload::Corpus;
 use p2p_index_xpath::Query;
 
 struct Args {
@@ -60,6 +71,8 @@ struct Args {
     csv_dir: Option<PathBuf>,
     metrics_path: Option<PathBuf>,
     jobs: usize,
+    profile: bool,
+    allow_regression: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,9 +87,13 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_dir = None;
     let mut metrics_path = None;
     let mut jobs = 1usize;
+    let mut profile = false;
+    let mut allow_regression = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--small" => config = EvalConfig::small(),
+            "--profile" => profile = true,
+            "--allow-regression" => allow_regression = true,
             "--nodes" => config.nodes = parse_num(args.next(), "--nodes")?,
             "--articles" => config.articles = parse_num(args.next(), "--articles")?,
             "--queries" => config.queries = parse_num(args.next(), "--queries")?,
@@ -96,6 +113,8 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         metrics_path,
         jobs,
+        profile,
+        allow_regression,
     })
 }
 
@@ -108,7 +127,7 @@ fn parse_num(value: Option<String>, flag: &str) -> Result<usize, String> {
 
 fn usage() -> String {
     "usage: repro <fig7|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|storage|ext-structures|ext-churn|robustness|bench|all> \
-     [--small] [--nodes N] [--articles N] [--queries N] [--seed N] [--csv DIR] [--jobs N] [--metrics FILE]\n\
+     [--small] [--nodes N] [--articles N] [--queries N] [--seed N] [--csv DIR] [--jobs N] [--metrics FILE] [--profile] [--allow-regression]\n\
      \x20      repro trace <query> [--small] [--nodes N] [--articles N] [--seed N]\n\
      \x20      repro serve [--substrate ring|chord|kademlia|pastry] [--port N] [--node-name NAME] [--loss F] [--fault-seed N]\n\
      \x20      repro net-demo --members HOST:PORT,... [--articles N] [--queries N] [--seed N] [--shutdown]"
@@ -277,12 +296,124 @@ fn median_of_3(mut f: impl FnMut()) -> f64 {
     times[1]
 }
 
-/// The `bench` sub-command: time one fixed cell and the full figure grid
-/// (serial vs parallel), print the numbers, and record them in
-/// `BENCH_results.json`. Each timing is the median of 3 runs; a warmup
-/// pass (untimed) precedes them so page-cache and allocator effects don't
-/// land in the first sample.
-fn bench(cfg: &EvalConfig, jobs: usize, csv_dir: &Option<PathBuf>, metrics_path: &Option<PathBuf>) {
+/// The `--jobs` values the bench sweeps the grid over.
+const SWEEP_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// Allocation counters since process start: `(allocations, bytes)`.
+/// `None` unless the binary was built with `--features alloc-profile`.
+fn alloc_counts() -> Option<(u64, u64)> {
+    #[cfg(feature = "alloc-profile")]
+    {
+        Some(alloc_profile::counts())
+    }
+    #[cfg(not(feature = "alloc-profile"))]
+    {
+        None
+    }
+}
+
+/// Runs one profiled phase: wall-clock always, allocation deltas when the
+/// counting allocator is compiled in.
+fn timed_phase<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, ProfilePhase) {
+    let before = alloc_counts();
+    let started = Instant::now();
+    let out = f();
+    let secs = started.elapsed().as_secs_f64();
+    let allocs = match (before, alloc_counts()) {
+        (Some((a0, b0)), Some((a1, b1))) => Some((a1 - a0, b1 - b0)),
+        _ => None,
+    };
+    (out, ProfilePhase { name, secs, allocs })
+}
+
+struct ProfilePhase {
+    name: &'static str,
+    secs: f64,
+    /// `(allocations, bytes)` during the phase, when counted.
+    allocs: Option<(u64, u64)>,
+}
+
+impl ProfilePhase {
+    fn report(&self) -> String {
+        match self.allocs {
+            Some((n, bytes)) => format!(
+                "# profile {}: {:.3} s, {} allocs, {:.1} MB allocated",
+                self.name,
+                self.secs,
+                n,
+                bytes as f64 / (1024.0 * 1024.0)
+            ),
+            None => format!(
+                "# profile {}: {:.3} s (allocation counts need a build with \
+                 --features alloc-profile)",
+                self.name, self.secs
+            ),
+        }
+    }
+
+    fn json(&self) -> String {
+        let allocs = match self.allocs {
+            Some((n, bytes)) => format!(", \"allocations\": {n}, \"bytes_allocated\": {bytes}"),
+            None => String::new(),
+        };
+        format!(
+            "{{ \"phase\": \"{}\", \"wall_clock_s\": {:.6}{allocs} }}",
+            self.name, self.secs
+        )
+    }
+}
+
+/// `--profile`: break the reference cell into its three phases — corpus
+/// synthesis, publish (index construction), query workload — and report
+/// wall-clock plus allocation counts for each, so the next bottleneck is
+/// measured instead of guessed.
+fn profile_cell(cfg: &EvalConfig) -> Vec<ProfilePhase> {
+    let config = cfg.sim(SchemeChoice::Simple, CachePolicy::Single);
+    let (corpus, corpus_phase) = timed_phase("corpus", || {
+        Arc::new(Corpus::generate(Simulation::corpus_config(&config)))
+    });
+    let (sim, publish_phase) = timed_phase("publish", || {
+        Simulation::prepare_with_corpus(config, corpus)
+    });
+    let (_, queries_phase) = timed_phase("queries", || {
+        let mut sim = sim;
+        sim.execute()
+    });
+    let phases = vec![corpus_phase, publish_phase, queries_phase];
+    for phase in &phases {
+        eprintln!("{}", phase.report());
+    }
+    phases
+}
+
+/// One point of the grid's jobs sweep.
+struct SweepPoint {
+    jobs: usize,
+    /// Worker threads the executor actually ran (`--jobs` clamped to the
+    /// host's cores and the cell count).
+    workers: usize,
+    secs: f64,
+    speedup: f64,
+}
+
+/// The `bench` sub-command: time one fixed cell, sweep the full figure
+/// grid over `--jobs {1,2,4,8}`, print the speedup curve, and record it
+/// all in `BENCH_results.json`. Each timing is the median of 3 runs; a
+/// warmup pass (untimed) precedes them so page-cache and allocator effects
+/// don't land in the first sample.
+///
+/// Exits non-zero when any sweep point that ran with real parallelism
+/// (workers > 1) is slower than serial, unless `--allow-regression` was
+/// given. Points clamped to one worker execute the identical serial code
+/// path, so their "speedup" is pure timer noise and is exempt.
+fn bench(
+    cfg: &EvalConfig,
+    jobs: usize,
+    csv_dir: &Option<PathBuf>,
+    metrics_path: &Option<PathBuf>,
+    profile: bool,
+    allow_regression: bool,
+) -> ExitCode {
     // Warmup pass over the fixed reference cell (simple scheme,
     // single-cache policy); doubles as the observability sample when
     // `--metrics` asks for one.
@@ -311,63 +442,166 @@ fn bench(cfg: &EvalConfig, jobs: usize, csv_dir: &Option<PathBuf>, metrics_path:
         metrics.mean_interactions()
     );
 
-    // The full scheme × policy grid, serial then parallel (fresh
-    // evaluations per run, so every run does all the work).
-    let grid = experiments::paper_grid();
-    let serial_secs = median_of_3(|| {
-        Evaluation::new(*cfg).run_cells(&grid, 1);
-    });
-    let par_jobs = if jobs > 1 { jobs } else { resolve_jobs(0) };
-    let parallel_secs = median_of_3(|| {
-        Evaluation::new(*cfg).run_cells(&grid, par_jobs);
-    });
-    let speedup = serial_secs / parallel_secs.max(1e-9);
-    eprintln!(
-        "# grid ({} cells): serial median {serial_secs:.3} s, --jobs {par_jobs} median \
-         {parallel_secs:.3} s, speedup {speedup:.2}x",
-        grid.len()
-    );
-    let grid_warning = if speedup < 1.0 {
-        eprintln!(
-            "# WARNING: speedup < 1 — the parallel grid ({par_jobs} jobs, \
-             {parallel_secs:.3} s) ran SLOWER than serial ({serial_secs:.3} s); \
-             parallelism is hurting on this machine"
-        );
-        format!(
-            ", \"warning\": \"speedup < 1: parallel grid ({par_jobs} jobs) slower than serial\""
-        )
+    let phases = if profile {
+        profile_cell(cfg)
     } else {
-        String::new()
+        Vec::new()
     };
+
+    // The full scheme × policy grid swept over the jobs ladder (fresh
+    // evaluations per run, so every run does all the work). An explicit
+    // `--jobs` value outside the ladder is swept too.
+    let grid = experiments::paper_grid();
+    let mut sweep_jobs: Vec<usize> = SWEEP_JOBS.to_vec();
+    if jobs > 1 && !sweep_jobs.contains(&jobs) {
+        sweep_jobs.push(jobs);
+        sweep_jobs.sort_unstable();
+    }
+    let mut sweep: Vec<SweepPoint> = Vec::with_capacity(sweep_jobs.len());
+    for &j in &sweep_jobs {
+        let secs = median_of_3(|| {
+            Evaluation::new(*cfg).run_cells(&grid, j);
+        });
+        sweep.push(SweepPoint {
+            jobs: j,
+            workers: effective_workers(j, grid.len()),
+            secs,
+            speedup: 1.0,
+        });
+    }
+    let serial_secs = sweep[0].secs;
+    let mut regressed: Vec<String> = Vec::new();
+    for point in &mut sweep {
+        point.speedup = serial_secs / point.secs.max(1e-9);
+        let note = if point.jobs > 1 && point.workers == 1 {
+            " (clamped to 1 worker on this host: serial code path, exempt from the gate)"
+        } else {
+            ""
+        };
+        eprintln!(
+            "# grid ({} cells) --jobs {}: {} worker(s), median {:.3} s, speedup {:.2}x{note}",
+            grid.len(),
+            point.jobs,
+            point.workers,
+            point.secs,
+            point.speedup
+        );
+        if point.workers > 1 && point.speedup < 1.0 {
+            regressed.push(format!(
+                "--jobs {} ({} workers) ran {:.3} s vs {:.3} s serial ({:.2}x)",
+                point.jobs, point.workers, point.secs, serial_secs, point.speedup
+            ));
+        }
+    }
+    for line in &regressed {
+        eprintln!("# REGRESSION: parallel grid slower than serial: {line}");
+    }
 
     // Loopback RPC micro-bench: real sockets, single-node server, get and
     // put at 1 and 8 client threads (median of 3 samples per cell).
     let net_json = netd::net_bench();
 
+    let sweep_json = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "{{ \"jobs\": {}, \"workers\": {}, \"wall_clock_s\": {:.6}, \"speedup\": {:.3} }}",
+                p.jobs, p.workers, p.secs, p.speedup
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n                 ");
+    let profile_json = if phases.is_empty() {
+        String::new()
+    } else {
+        format!(
+            ",\n  \"profile\": [ {} ]",
+            phases
+                .iter()
+                .map(ProfilePhase::json)
+                .collect::<Vec<_>>()
+                .join(",\n               ")
+        )
+    };
     let json = format!(
         "{{\n  \"config\": {{ \"nodes\": {}, \"articles\": {}, \"queries\": {}, \"seed\": {} }},\n  \
            \"timing\": {{ \"warmup_runs\": 1, \"samples\": 3, \"statistic\": \"median\" }},\n  \
            \"cell\": {{ \"scheme\": \"simple\", \"policy\": \"single-cache\", \
                         \"wall_clock_s\": {cell_secs:.6}, \"queries_per_sec\": {queries_per_sec:.1} }},\n  \
-           \"grid\": {{ \"cells\": {}, \"serial_s\": {serial_secs:.6}, \"jobs\": {par_jobs}, \
-                        \"parallel_s\": {parallel_secs:.6}, \"speedup\": {speedup:.3}{grid_warning} }},\n  \
+           \"grid\": {{ \"cells\": {}, \"serial_s\": {serial_secs:.6}, \"available_cores\": {}, \
+                        \"regressed\": {},\n       \"sweep\": [ {sweep_json} ] }}{profile_json},\n  \
            \"net\": {net_json}\n}}\n",
         cfg.nodes,
         cfg.articles,
         cfg.queries,
         cfg.seed,
         grid.len(),
+        p2p_index_sim::exec::available_cores(),
+        !regressed.is_empty(),
     );
     let dir = csv_dir.clone().unwrap_or_else(|| PathBuf::from("."));
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("cannot create {}: {e}", dir.display());
-        return;
+        return ExitCode::FAILURE;
     }
     let path = dir.join("BENCH_results.json");
     match std::fs::write(&path, json) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("cannot write {}: {e}", path.display()),
     }
+    if !regressed.is_empty() && !allow_regression {
+        eprintln!(
+            "# FAIL: the parallel grid regressed against serial (see REGRESSION lines above); \
+             pass --allow-regression to record the numbers anyway"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// A counting wrapper around the system allocator, compiled in only with
+/// `--features alloc-profile`. Counts are process-global and monotonic;
+/// `bench --profile` reads deltas around each phase. Frees are not
+/// tracked — the profile's question is "how much does this phase
+/// allocate", not "what does it retain".
+#[cfg(feature = "alloc-profile")]
+mod alloc_profile {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// `(allocations, bytes)` since process start.
+    pub fn counts() -> (u64, u64) {
+        (
+            ALLOCATIONS.load(Ordering::Relaxed),
+            BYTES.load(Ordering::Relaxed),
+        )
+    }
+
+    struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: CountingAlloc = CountingAlloc;
 }
 
 fn main() -> ExitCode {
@@ -405,6 +639,16 @@ fn main() -> ExitCode {
         let query = args.query.as_deref().expect("parse_args requires it");
         return trace(&cfg, query);
     }
+    if args.exhibit == "bench" {
+        return bench(
+            &cfg,
+            jobs,
+            &args.csv_dir,
+            &args.metrics_path,
+            args.profile,
+            args.allow_regression,
+        );
+    }
     let mut eval = Evaluation::new(cfg);
     eval.set_collect_metrics(args.metrics_path.is_some());
     let csv = &args.csv_dir;
@@ -439,7 +683,6 @@ fn main() -> ExitCode {
                 csv,
                 "ext_robustness",
             ),
-            "bench" => bench(&cfg, jobs, csv, metrics_path),
             _ => return false,
         }
         true
@@ -472,11 +715,7 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else if run(&args.exhibit.clone(), &mut eval) {
         if let Some(path) = metrics_path {
-            // `bench` writes its own reference-cell snapshot; grid exhibits
-            // dump every cell the run touched.
-            if args.exhibit != "bench" {
-                write_metrics(&eval, path);
-            }
+            write_metrics(&eval, path);
         }
         ExitCode::SUCCESS
     } else {

@@ -19,10 +19,11 @@
 //! | Table I (non-indexed queries) | [`table1_errors`] |
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use p2p_index_core::CachePolicy;
 use p2p_index_obs::MetricsSnapshot;
-use p2p_index_workload::{PaperCcdf, StructureMix, ZipfPopularity};
+use p2p_index_workload::{Corpus, PaperCcdf, StructureMix, ZipfPopularity};
 
 use crate::simulation::{Metrics, SchemeChoice, SimConfig, Simulation};
 
@@ -93,6 +94,12 @@ pub struct Evaluation {
     cells: HashMap<(SchemeChoice, CachePolicy), Metrics>,
     collect_metrics: bool,
     snapshots: HashMap<(SchemeChoice, CachePolicy), MetricsSnapshot>,
+    /// The corpus every cell of this grid simulates over, generated on
+    /// first use and shared read-only (`Arc`) across cells — all cells use
+    /// the same `(articles, seed)`, so re-synthesizing it per cell (and
+    /// per worker, under `--jobs`) would be pure duplicated work and
+    /// allocator pressure.
+    corpus: Option<Arc<Corpus>>,
 }
 
 impl Evaluation {
@@ -103,7 +110,19 @@ impl Evaluation {
             cells: HashMap::new(),
             collect_metrics: false,
             snapshots: HashMap::new(),
+            corpus: None,
         }
+    }
+
+    /// The grid's shared corpus, generated on first use.
+    fn shared_corpus(&mut self) -> Arc<Corpus> {
+        if self.corpus.is_none() {
+            let config = self.base.sim(SchemeChoice::Simple, CachePolicy::None);
+            self.corpus = Some(Arc::new(Corpus::generate(Simulation::corpus_config(
+                &config,
+            ))));
+        }
+        self.corpus.as_ref().expect("just generated").clone()
     }
 
     /// The scale parameters.
@@ -129,8 +148,9 @@ impl Evaluation {
     /// Runs (or recalls) one grid cell.
     pub fn cell(&mut self, scheme: SchemeChoice, policy: CachePolicy) -> &Metrics {
         if !self.cells.contains_key(&(scheme, policy)) {
+            let corpus = self.shared_corpus();
             let (metrics, snapshot) =
-                Simulation::run_with_snapshot(self.cell_config(scheme, policy));
+                Simulation::run_with_snapshot_on(self.cell_config(scheme, policy), corpus);
             if let Some(s) = snapshot {
                 self.snapshots.insert((scheme, policy), s);
             }
@@ -154,13 +174,20 @@ impl Evaluation {
                 pending.push(cell);
             }
         }
+        if pending.is_empty() {
+            return;
+        }
         let base = self.base;
         let collect = self.collect_metrics;
+        let corpus = self.shared_corpus();
         let results = crate::exec::parallel_map(&pending, jobs, |&(scheme, policy)| {
-            Simulation::run_with_snapshot(SimConfig {
-                collect_metrics: collect,
-                ..base.sim(scheme, policy)
-            })
+            Simulation::run_with_snapshot_on(
+                SimConfig {
+                    collect_metrics: collect,
+                    ..base.sim(scheme, policy)
+                },
+                corpus.clone(),
+            )
         });
         for (cell, (m, snapshot)) in pending.into_iter().zip(results) {
             if let Some(s) = snapshot {

@@ -14,6 +14,7 @@
 //! generalization, and successful lookups create cache shortcuts.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use p2p_index_core::{
     CachePolicy, ComplexScheme, Fig4Scheme, FlatScheme, IndexScheme, IndexService, IndexTarget,
@@ -259,30 +260,58 @@ pub struct QueryOutcome {
 /// One full simulation: corpus + DHT + index service + workload.
 pub struct Simulation {
     config: SimConfig,
-    corpus: Corpus,
+    corpus: Arc<Corpus>,
     service: IndexService<RingDht>,
     msds: Vec<Query>,
+    /// Stored-file handles, one per article — rendered once at prepare time
+    /// so the query loop never re-formats a file name.
+    files: Vec<String>,
 }
 
 impl Simulation {
-    /// Builds the network and publishes the whole corpus under the
-    /// configured scheme.
-    pub fn prepare(config: SimConfig) -> Simulation {
-        let corpus = Corpus::generate(CorpusConfig {
+    /// The corpus parameters implied by a simulation config. Cells that
+    /// share `(articles, seed)` generate identical corpora, so a grid can
+    /// build the corpus once and share it read-only across cells.
+    pub fn corpus_config(config: &SimConfig) -> CorpusConfig {
+        CorpusConfig {
             articles: config.articles,
             author_pool: (config.articles / 3).max(16),
             seed: config.seed,
             ..CorpusConfig::default()
-        });
+        }
+    }
+
+    /// Builds the network and publishes the whole corpus under the
+    /// configured scheme.
+    pub fn prepare(config: SimConfig) -> Simulation {
+        let corpus = Arc::new(Corpus::generate(Simulation::corpus_config(&config)));
+        Simulation::prepare_with_corpus(config, corpus)
+    }
+
+    /// Like [`prepare`](Self::prepare), but over a pre-generated corpus —
+    /// the experiment grids generate each corpus once and share it
+    /// (read-only, behind an `Arc`) across all cells with the same
+    /// `(articles, seed)`, instead of re-synthesizing it per cell. The
+    /// corpus **must** equal `Corpus::generate(Simulation::corpus_config(&config))`
+    /// for the run to be equivalent to [`prepare`](Self::prepare).
+    pub fn prepare_with_corpus(config: SimConfig, corpus: Arc<Corpus>) -> Simulation {
+        debug_assert_eq!(
+            corpus.len(),
+            config.articles,
+            "corpus does not match config"
+        );
         let dht = RingDht::with_named_nodes(config.nodes);
         let mut service = IndexService::new(dht, config.policy);
         let scheme = config.scheme.scheme();
         let mut msds = Vec::with_capacity(corpus.len());
+        let mut files = Vec::with_capacity(corpus.len());
         for article in corpus.articles() {
+            let file = article.file_name();
             let msd = service
-                .publish(&article.descriptor(), article.file_name(), scheme)
+                .publish(&article.descriptor(), file.clone(), scheme)
                 .expect("network is non-empty and schemes are covering-safe");
             msds.push(msd);
+            files.push(file);
         }
         service.reset_metrics();
         if config.collect_metrics {
@@ -295,6 +324,7 @@ impl Simulation {
             corpus,
             service,
             msds,
+            files,
         }
     }
 
@@ -340,6 +370,21 @@ impl Simulation {
         (metrics, snapshot)
     }
 
+    /// Like [`run_with_snapshot`](Self::run_with_snapshot) over an
+    /// already-generated corpus, which must match the config's
+    /// `(articles, seed)` (see [`corpus_config`](Self::corpus_config)).
+    /// Grid drivers use this to synthesize the corpus once and share it
+    /// read-only across every cell.
+    pub fn run_with_snapshot_on(
+        config: SimConfig,
+        corpus: Arc<Corpus>,
+    ) -> (Metrics, Option<MetricsSnapshot>) {
+        let mut sim = Simulation::prepare_with_corpus(config, corpus);
+        let metrics = sim.execute();
+        let snapshot = sim.metrics_snapshot();
+        (metrics, snapshot)
+    }
+
     /// Feeds the query workload through the prepared network.
     pub fn execute(&mut self) -> Metrics {
         let mut generator = QueryGenerator::new(
@@ -355,15 +400,25 @@ impl Simulation {
         let mut failed = 0u64;
         let mut by_structure: HashMap<&'static str, (u64, u64, u64)> = HashMap::new();
 
+        // Reused across the whole workload: the per-query lookup path and
+        // generalization list grow once and are cleared per query instead
+        // of being reallocated 50 000 times.
+        let mut path: Vec<(NodeId, Query)> = Vec::new();
+        let mut generalizations: Vec<Query> = Vec::new();
         for _ in 0..self.config.queries {
             let item = generator.next_query();
-            let target_msd = self.msds[item.target].clone();
-            let target_file = self
-                .corpus
-                .article(item.target)
-                .expect("valid id")
-                .file_name();
-            let outcome = user_search(&mut self.service, &item.query, &target_msd, &target_file);
+            // Borrowed, not cloned: the target MSD and file handle are
+            // read-only inputs to the user model.
+            let target_msd = &self.msds[item.target];
+            let target_file = self.files[item.target].as_str();
+            let outcome = user_search_buffered(
+                &mut self.service,
+                &item.query,
+                target_msd,
+                target_file,
+                &mut path,
+                &mut generalizations,
+            );
             interactions += outcome.interactions as u64;
             let slot = by_structure
                 .entry(item.structure.label())
@@ -414,7 +469,9 @@ impl Simulation {
         by_structure: Vec<(String, u64, u64, u64)>,
     ) -> Metrics {
         let dht = self.service.dht();
-        let node_counts: HashMap<NodeId, u64> = self.service.node_query_counts().clone();
+        // Borrowed straight from the service — snapshotting a cell must not
+        // clone the whole per-node map just to read it once.
+        let node_counts: &HashMap<NodeId, u64> = self.service.node_query_counts();
         let nodes = dht.nodes();
         let node_query_counts: Vec<u64> = nodes
             .iter()
@@ -479,6 +536,28 @@ pub fn user_search(
     target_msd: &Query,
     target_file: &str,
 ) -> QueryOutcome {
+    user_search_buffered(
+        service,
+        query,
+        target_msd,
+        target_file,
+        &mut Vec::new(),
+        &mut Vec::new(),
+    )
+}
+
+/// [`user_search`] with caller-owned scratch buffers for the lookup path
+/// and the generalization list — the simulation loop reuses one pair of
+/// buffers across its whole workload instead of allocating per query.
+/// Both buffers are cleared on entry.
+pub fn user_search_buffered(
+    service: &mut IndexService<RingDht>,
+    query: &Query,
+    target_msd: &Query,
+    target_file: &str,
+    path: &mut Vec<(NodeId, Query)>,
+    generalizations: &mut Vec<Query>,
+) -> QueryOutcome {
     const MAX_STEPS: u32 = 64;
 
     let mut outcome = QueryOutcome {
@@ -488,9 +567,9 @@ pub fn user_search(
         error: false,
         found: false,
     };
-    let mut path: Vec<(NodeId, Query)> = Vec::new();
+    path.clear();
+    generalizations.clear();
     let mut current = query.clone();
-    let mut generalizations: Vec<Query> = Vec::new();
     let mut tried_generalizing = false;
 
     while outcome.interactions < MAX_STEPS {
@@ -566,7 +645,7 @@ pub fn user_search(
         }
         if !tried_generalizing {
             tried_generalizing = true;
-            generalizations = current.generalizations();
+            current.generalizations_into(generalizations);
         }
         match generalizations.pop() {
             Some(g) => {
@@ -579,7 +658,7 @@ pub fn user_search(
     }
 
     if outcome.found {
-        service.create_shortcuts(&path, &IndexTarget::Query(target_msd.clone()));
+        service.create_shortcuts(path, &IndexTarget::Query(target_msd.clone()));
     }
     outcome
 }
@@ -759,6 +838,55 @@ mod tests {
         assert_eq!(SchemeChoice::Flat.label(), "Flat");
         assert_eq!(SchemeChoice::PAPER.len(), 3);
         assert_eq!(SchemeChoice::Complex.scheme().name(), "complex");
+    }
+
+    #[test]
+    fn node_query_counts_snapshot_matches_service_state() {
+        // `collect` reads the per-node lookup counts by reference (no map
+        // clone per snapshot); this pins that the reported vector is still
+        // exactly the service's counts in DHT node order.
+        let mut sim = Simulation::prepare(SimConfig {
+            nodes: 30,
+            articles: 100,
+            queries: 500,
+            scheme: SchemeChoice::Simple,
+            policy: CachePolicy::Single,
+            ..SimConfig::default()
+        });
+        let metrics = sim.execute();
+        let counts = sim.service().node_query_counts();
+        let expected: Vec<u64> = sim
+            .service()
+            .dht()
+            .nodes()
+            .iter()
+            .map(|n| counts.get(n).copied().unwrap_or(0))
+            .collect();
+        assert_eq!(metrics.node_query_counts, expected);
+        assert_eq!(
+            metrics.node_query_counts.iter().sum::<u64>(),
+            counts.values().sum::<u64>(),
+            "every served lookup is accounted"
+        );
+        assert!(metrics.node_query_counts.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn shared_corpus_cell_matches_fresh_prepare() {
+        // Grid cells share one Arc'd corpus; a shared-corpus run must be
+        // indistinguishable from a run that generated its own.
+        let config = SimConfig {
+            nodes: 30,
+            articles: 120,
+            queries: 600,
+            scheme: SchemeChoice::Simple,
+            policy: CachePolicy::Lru(20),
+            ..SimConfig::default()
+        };
+        let corpus = Arc::new(Corpus::generate(Simulation::corpus_config(&config)));
+        let mut shared = Simulation::prepare_with_corpus(config.clone(), corpus);
+        let mut fresh = Simulation::prepare(config);
+        assert_eq!(shared.execute(), fresh.execute());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! distribution. Then, we select the structure of the query and assign the
 //! corresponding fields."
 
+use std::collections::HashMap;
+
 use p2p_index_xpath::{Query, QueryBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -188,6 +190,14 @@ pub struct QueryGenerator<'c> {
     popularity: PaperCcdf,
     mix: StructureMix,
     rng: StdRng,
+    /// Interned `(structure, target) → query`. The popularity model is a
+    /// power law, so a handful of articles absorb most of the workload;
+    /// each repeat of a (structure, article) pair hands out a cheap clone
+    /// of the memoized query (`Arc` bumps) instead of re-building and
+    /// re-rendering the same pattern tree. Queries are pure functions of
+    /// the pair, so the memo can never go stale — and the RNG draws are
+    /// unaffected, so the generated stream is byte-identical.
+    memo: HashMap<(QueryStructure, usize), Query>,
 }
 
 impl<'c> QueryGenerator<'c> {
@@ -198,6 +208,7 @@ impl<'c> QueryGenerator<'c> {
             popularity: PaperCcdf::new(corpus.len()),
             mix,
             rng: StdRng::seed_from_u64(seed),
+            memo: HashMap::new(),
         }
     }
 
@@ -208,8 +219,13 @@ impl<'c> QueryGenerator<'c> {
         let target = rank - 1;
         let article = self.corpus.article(target).expect("rank within corpus");
         let structure = self.mix.sample(&mut self.rng);
+        let query = self
+            .memo
+            .entry((structure, target))
+            .or_insert_with(|| structure.query_for(article))
+            .clone();
         GeneratedQuery {
-            query: structure.query_for(article),
+            query,
             target,
             structure,
         }

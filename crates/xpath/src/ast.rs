@@ -377,6 +377,23 @@ impl Query {
     /// exactly once.
     pub(crate) fn from_root(mut root: Pattern) -> Query {
         root.normalize();
+        Query::from_normalized_root(root)
+    }
+
+    /// Wraps a root pattern that is **already normalized** (children sorted
+    /// and deduplicated at every level), skipping the recursive
+    /// re-normalization pass. Callers must guarantee the invariant — e.g.
+    /// a tree cloned from an existing query with a child removed stays
+    /// normalized.
+    fn from_normalized_root(root: Pattern) -> Query {
+        debug_assert!(
+            {
+                let mut check = root.clone();
+                check.normalize();
+                check == root
+            },
+            "from_normalized_root requires a normalized pattern"
+        );
         struct Canon<'a>(&'a Pattern);
         impl fmt::Display for Canon<'_> {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -439,15 +456,25 @@ impl Query {
         }
         let mut root = (*self.root).clone();
         root.children.remove(index);
-        Some(Query::from_root(root))
+        // A query's tree is always normalized; removing one child of the
+        // root keeps every level sorted and deduplicated, so the recursive
+        // re-normalization pass can be skipped.
+        Some(Query::from_normalized_root(root))
     }
 
     /// All one-step generalizations: each top-level branch dropped in turn.
     /// Broadest-first exploration of these reaches every indexed ancestor.
     pub fn generalizations(&self) -> Vec<Query> {
-        (0..self.root.children.len())
-            .filter_map(|i| self.drop_top_branch(i))
-            .collect()
+        let mut out = Vec::with_capacity(self.root.children.len());
+        self.generalizations_into(&mut out);
+        out
+    }
+
+    /// Appends all one-step generalizations to `out` — the allocation-free
+    /// sibling of [`generalizations`](Self::generalizations) for hot loops
+    /// that keep a reusable frontier buffer.
+    pub fn generalizations_into(&self, out: &mut Vec<Query>) {
+        out.extend((0..self.root.children.len()).filter_map(|i| self.drop_top_branch(i)));
     }
 
     /// Rewrites the query's *values* — leaf steps (`…/title/TCP`) and
