@@ -817,14 +817,15 @@ impl<D: Dht> IndexService<D> {
     ///
     /// While a trace is recording this falls back to per-query traced
     /// lookups, so every query keeps its own `lookup …` span (the
-    /// invariant the observability suite pins); single-query batches take
-    /// the unary path too, which also preserves its NodeFor-then-Get
-    /// short-circuit.
+    /// invariant the observability suite pins). Single-query batches take
+    /// the batched path too: on the networked client that pipelines the
+    /// probe through `execute_many` like every other generalization wave
+    /// instead of issuing a sequentially-dependent unary exchange.
     fn lookup_many_bypassing_cache(
         &mut self,
         queries: &[Query],
     ) -> Vec<Result<StepResponse, IndexError>> {
-        if self.tracer.is_some() || queries.len() <= 1 {
+        if self.tracer.is_some() || queries.is_empty() {
             return queries
                 .iter()
                 .map(|q| self.lookup_step_bypassing_cache(q))

@@ -329,6 +329,21 @@ pub trait Dht {
         .unwrap_or(false)
     }
 
+    /// A snapshot of every `(key, values)` entry the substrate holds, in
+    /// ascending key order with duplicate replica copies collapsed.
+    ///
+    /// This is the enumeration surface replication maintenance needs: a
+    /// networked server drains its partition to successors on graceful
+    /// leave and pushes under-replicated entries during a repair pass by
+    /// walking exactly this list. It is a maintenance API, not a query
+    /// path — no messages or lookups are accounted.
+    ///
+    /// Default: empty, for substrates that cannot enumerate their
+    /// storage; drain and repair degrade to no-ops over them.
+    fn entries(&self) -> Vec<(Key, Vec<Bytes>)> {
+        Vec::new()
+    }
+
     /// Work counters accumulated since construction.
     fn stats(&self) -> DhtStats;
 

@@ -289,6 +289,13 @@ impl<D: Dht + NodeChurn> Dht for FaultyDht<D> {
         self.inner.get(key)
     }
 
+    fn entries(&self) -> Vec<(Key, Vec<Bytes>)> {
+        // Maintenance enumeration bypasses fault injection: drain and
+        // repair walk the substrate's real contents, faults apply only
+        // to the operation path.
+        self.inner.entries()
+    }
+
     fn stats(&self) -> DhtStats {
         self.inner.stats()
     }

@@ -19,6 +19,9 @@
 //!   alongside Chord;
 //! * [`ring`] — a direct consistent-hash ring with identical key placement,
 //!   used where the substrate is assumed rather than studied;
+//! * [`placement`] — the successor-list replica placement rule, shared by
+//!   the substrates here and the networked client/server in
+//!   `p2p-index-net` so routing and repair can never disagree;
 //! * [`faulty`] — a deterministic fault-injecting wrapper (message loss,
 //!   timeouts, node churn) around any substrate, for robustness studies;
 //! * [`api`] — the [`Dht`] trait all substrates implement, which is all the
@@ -49,6 +52,7 @@ pub mod hash;
 pub mod kademlia;
 pub mod key;
 pub mod pastry;
+pub mod placement;
 pub mod ring;
 pub mod storage;
 

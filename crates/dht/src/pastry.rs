@@ -605,6 +605,10 @@ impl Dht for PastryNetwork {
         Vec::new()
     }
 
+    fn entries(&self) -> Vec<(Key, Vec<Bytes>)> {
+        crate::storage::merged_entries(self.nodes.values().map(|state| &state.store))
+    }
+
     fn stats(&self) -> DhtStats {
         DhtStats {
             messages: self.stats.messages.load(Ordering::Relaxed),

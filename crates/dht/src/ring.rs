@@ -259,6 +259,10 @@ impl Dht for RingDht {
         }
     }
 
+    fn entries(&self) -> Vec<(Key, Vec<Bytes>)> {
+        crate::storage::merged_entries(self.stores.values())
+    }
+
     fn stats(&self) -> DhtStats {
         DhtStats {
             messages: self.messages.load(Ordering::Relaxed),

@@ -453,6 +453,85 @@ fn execute_many_preserves_fault_schedules() {
 }
 
 #[test]
+fn replicated_remote_cluster_matches_in_process_twin_batch_and_unary() {
+    // Replication is a durability feature, not a semantic one: a
+    // quorum-read cluster (R=3, W=2, Rq=2) must answer a mixed batch —
+    // and the same ops issued one by one — exactly like an in-process
+    // unreplicated ring, with identical DhtStats. Fan-out writes and
+    // quorum reads happen, but the accounting convention stays one
+    // completed op = two messages + one lookup, independent of how many
+    // replicas were touched.
+    let ops = mixed_ops(24);
+    let mut batched =
+        ClusterDht::start_replicated_ring(5, 3, 2, 2).expect("loopback cluster binds");
+    let mut unary = ClusterDht::start_replicated_ring(5, 3, 2, 2).expect("loopback cluster binds");
+    let mut twin = RingDht::from_ids(keys(5));
+    let batch_results = batched.execute_many(ops.clone());
+    let unary_results: Vec<_> = ops.iter().cloned().map(|op| unary.execute(op)).collect();
+    let twin_results = twin.execute_many(ops);
+    assert_eq!(
+        batch_results, unary_results,
+        "replicated batch must match the replicated unary sequence"
+    );
+    assert_eq!(
+        batch_results, twin_results,
+        "replicated cluster must answer like the in-process ring"
+    );
+    assert_eq!(
+        batched.stats(),
+        twin.stats(),
+        "quorum fan-out must not leak into the accounting convention"
+    );
+    assert_eq!(batched.stats(), unary.stats());
+}
+
+#[test]
+fn stale_replica_is_invisible_to_conformance_and_repair_restores_it() {
+    // One member's substrate is wiped in place — a replica serving stale
+    // (empty) data. At read quorum 2 the cluster must keep answering
+    // exactly like the in-process twin (the lowest-ranked non-empty
+    // reply wins), with unchanged accounting; after an anti-entropy
+    // pass the wiped member holds its copies again and answers alike.
+    let mut remote = ClusterDht::start_replicated_ring(3, 3, 2, 2).expect("loopback cluster binds");
+    let mut twin = RingDht::from_ids(keys(3));
+    let data: Vec<Key> = (0..12)
+        .map(|i| Key::hash_of(&format!("stale-{i}")))
+        .collect();
+    for (i, key) in data.iter().enumerate() {
+        let value = format!("v{i}");
+        assert!(exec_put(&mut remote, *key, &value));
+        assert!(exec_put(&mut twin, *key, &value));
+    }
+    let member_key = *remote.cluster().members()[1].0.key();
+    drop(
+        remote
+            .cluster()
+            .server(1)
+            .replace_substrate(Box::new(RingDht::from_ids([member_key]))),
+    );
+    for key in &data {
+        assert_eq!(
+            exec_get(&mut remote, *key),
+            exec_get(&mut twin, *key),
+            "a stale replica must be masked by the read quorum"
+        );
+    }
+    remote.cluster().repair_all();
+    for key in &data {
+        assert_eq!(
+            exec_get(&mut remote, *key),
+            exec_get(&mut twin, *key),
+            "repair must not change what the quorum already answered"
+        );
+    }
+    assert_eq!(
+        remote.stats(),
+        twin.stats(),
+        "stale-replica masking and repair must be accounting-neutral"
+    );
+}
+
+#[test]
 fn convenience_wrappers_match_execute() {
     for (name, mut dht) in substrates(16) {
         let key = Key::hash_of("wrapped");

@@ -43,7 +43,7 @@
 //! broken out under `net.batch.*`, which is what lets the multi-process
 //! harness cross-check frames against message accounting.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,7 +51,9 @@ use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use p2p_index_dht::{self as dht_api, Dht, DhtError, DhtOp, DhtResponse, DhtStats, Key, NodeId};
+use p2p_index_dht::{
+    self as dht_api, placement, Dht, DhtError, DhtOp, DhtResponse, DhtStats, Key, NodeId,
+};
 use p2p_index_obs::MetricsRegistry;
 
 use crate::wire::{read_message, write_message, Message, RecvError};
@@ -65,6 +67,17 @@ pub struct RemoteDhtConfig {
     pub read_timeout: Duration,
     /// Socket write timeout.
     pub write_timeout: Duration,
+    /// Replication factor R the cluster was configured with: each key's
+    /// candidate members are its R clockwise successors (shared placement
+    /// with the servers via `p2p_index_dht::placement`). `1` (the
+    /// default) disables replica routing entirely — frames, results, and
+    /// accounting are identical to prior builds.
+    pub replicas: usize,
+    /// Read quorum Rq: a `Get` contacts Rq replicas in parallel and
+    /// needs that many successful replies; the answer is the
+    /// lowest-ranked replica's non-empty value set, so one stale replica
+    /// cannot mask data the quorum saw.
+    pub read_quorum: usize,
 }
 
 impl Default for RemoteDhtConfig {
@@ -73,6 +86,8 @@ impl Default for RemoteDhtConfig {
             connect_timeout: Duration::from_secs(1),
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(2),
+            replicas: 1,
+            read_quorum: 1,
         }
     }
 }
@@ -97,17 +112,43 @@ struct InFlight<'a> {
     /// single-op groups travel as plain unary requests.
     batch: bool,
     started: Instant,
-    /// `(original op index, op kind)` in send order.
-    group: Vec<(usize, &'static str)>,
+    /// `(original op index, attempt rank)` in send order.
+    group: Vec<(usize, usize)>,
 }
 
-/// Marks every op riding a failed member frame as a transient timeout.
-fn fail_group(
-    results: &mut [Option<Result<DhtResponse, DhtError>>],
-    group: &[(usize, &'static str)],
-) {
-    for &(index, _) in group {
-        results[index] = Some(Err(DhtError::Timeout));
+/// One storage op's routing state across failover rounds: the candidate
+/// replicas in rank order, how many have been tried, and the successful
+/// replies gathered so far toward the quorum.
+struct Route {
+    op: DhtOp,
+    kind: &'static str,
+    /// Candidate members — the key's replica set, primary first.
+    candidates: Vec<Key>,
+    /// Ranks `0..tried` have been attempted (successfully or not).
+    tried: usize,
+    /// Successes required to settle: the read quorum for `Get`, one for
+    /// writes (the server enforces the write quorum behind one reply).
+    want: usize,
+    /// `(rank, response)` successes gathered so far.
+    successes: Vec<(usize, DhtResponse)>,
+    /// The last *remote* error reply observed (as opposed to a transport
+    /// failure); decides whether settling by exhaustion counts as a
+    /// completed RPC pair in the stats.
+    reply_error: Option<DhtError>,
+}
+
+impl Route {
+    /// The settled response once `want` successes are in: the
+    /// lowest-ranked non-empty value set for reads (a stale empty
+    /// replica cannot mask data), otherwise the lowest-ranked reply.
+    fn settle_response(&mut self) -> DhtResponse {
+        self.successes.sort_by_key(|(rank, _)| *rank);
+        let first_nonempty = self
+            .successes
+            .iter()
+            .position(|(_, resp)| !matches!(resp, DhtResponse::Values(v) if v.is_empty()));
+        let at = first_nonempty.unwrap_or(0);
+        self.successes[at].1.clone()
     }
 }
 
@@ -119,6 +160,9 @@ pub struct RemoteDht {
     /// Node position → member, ordered around the identifier circle so
     /// `range(key..)` resolves the clockwise successor, as in `RingDht`.
     members: BTreeMap<Key, Member>,
+    /// The member ring keys, ascending — the placement ring shared with
+    /// the servers' replica fan-out and repair.
+    ring: Vec<Key>,
     config: RemoteDhtConfig,
     next_request_id: AtomicU64,
     lookups: AtomicU64,
@@ -130,9 +174,10 @@ impl RemoteDht {
     /// Creates a client for the given `(node id, address)` members.
     /// Connections are dialed lazily on first use, so constructing a
     /// client never blocks; an empty member list yields a valid client
-    /// whose operations report [`DhtError::NoLiveNodes`].
-    pub fn connect(members: Vec<(NodeId, SocketAddr)>, config: RemoteDhtConfig) -> RemoteDht {
-        let members = members
+    /// whose operations report [`DhtError::NoLiveNodes`]. Quorum settings
+    /// are clamped to sane bounds (`1 ≤ Rq ≤ R ≤ n`).
+    pub fn connect(members: Vec<(NodeId, SocketAddr)>, mut config: RemoteDhtConfig) -> RemoteDht {
+        let members: BTreeMap<Key, Member> = members
             .into_iter()
             .map(|(id, addr)| {
                 (
@@ -145,8 +190,12 @@ impl RemoteDht {
                 )
             })
             .collect();
+        let ring: Vec<Key> = members.keys().copied().collect();
+        config.replicas = config.replicas.clamp(1, ring.len().max(1));
+        config.read_quorum = config.read_quorum.clamp(1, config.replicas);
         RemoteDht {
             members,
+            ring,
             config,
             next_request_id: AtomicU64::new(1),
             lookups: AtomicU64::new(0),
@@ -220,17 +269,41 @@ impl RemoteDht {
         result
     }
 
-    /// The one wire code path: executes a batch with one frame pair per
-    /// routed member.
+    /// The one wire code path: executes a batch in failover rounds, one
+    /// frame pair per routed member per round.
     ///
-    /// `NodeFor` ops are answered locally at zero message cost. Storage
-    /// ops are grouped by owner in ring order; a single-op group travels
-    /// as a plain unary `Request` (byte-identical to a v1 build's
-    /// traffic), a multi-op group as one [`Message::Batch`]. Every frame
-    /// is written before any reply is read, so member servers work
-    /// concurrently. A member's transport failure poisons its pooled
-    /// connection and maps all of its ops to [`DhtError::Timeout`];
-    /// nothing is counted for them, because no pair completed.
+    /// `NodeFor` ops are answered locally at zero message cost. Each
+    /// storage op routes to its key's replica set (`R` clockwise
+    /// successors; at the default `R = 1`, exactly the single owner as in
+    /// every prior build). Round one sends reads to their first `Rq`
+    /// replicas and writes to the primary, grouped per member in ring
+    /// order — a single-op group as a plain unary `Request`
+    /// (byte-identical to a v1 build's traffic), a multi-op group as one
+    /// [`Message::Batch`]. All of a round's frames are written before any
+    /// reply is read, so member servers work concurrently.
+    ///
+    /// One ordering carve-out: a `Get` whose key the *same batch* also
+    /// writes is read from its primary alone (`want = 1`). Member frames
+    /// race each other on the wire, so a non-primary replica could
+    /// answer such a read before — or after — the primary's replication
+    /// fan-out for the conflicting write reaches it, and the
+    /// lowest-rank-non-empty settle rule would then leak the reordered
+    /// state. The primary applies its frame's ops in batch order, so its
+    /// answer is exactly the sequential one. Pure read batches (every
+    /// multi-get a search issues) keep full quorum protection.
+    ///
+    /// A failed attempt — transport failure or a remote transient
+    /// [`DhtError::Timeout`] — is retried against the op's next untried
+    /// replica in the following round, so a dead member costs one extra
+    /// pipelined round, not a client-visible error and not any of the
+    /// index layer's `RetryPolicy` budget. Non-transient remote errors
+    /// settle immediately. An op whose replicas are exhausted settles as
+    /// [`DhtError::Timeout`].
+    ///
+    /// Accounting is per *op*, not per attempt: one completed RPC pair
+    /// (+2 messages, +1 lookup for ok put/get) when an op settles from a
+    /// reply, nothing when it settles by transport exhaustion — which at
+    /// `R = 1` is bit-for-bit the historical convention.
     fn execute_many_inner(&self, ops: Vec<DhtOp>) -> Vec<Result<DhtResponse, DhtError>> {
         if self.members.is_empty() {
             return ops
@@ -239,120 +312,188 @@ impl RemoteDht {
                 .collect();
         }
         let mut results: Vec<Option<Result<DhtResponse, DhtError>>> = vec![None; ops.len()];
-        let mut groups: BTreeMap<Key, Vec<(usize, DhtOp)>> = BTreeMap::new();
+        let mut routes: Vec<Option<Route>> = Vec::with_capacity(ops.len());
+        // Keys this batch writes: quorum reads of them must degrade to
+        // primary-only (see the ordering carve-out above). Irrelevant at
+        // R = 1, where every read is primary-only already.
+        let written: BTreeSet<Key> = if self.config.replicas > 1 {
+            ops.iter()
+                .filter(|op| matches!(op, DhtOp::Put { .. } | DhtOp::Remove { .. }))
+                .map(|op| *op.key())
+                .collect()
+        } else {
+            BTreeSet::new()
+        };
         for (i, op) in ops.into_iter().enumerate() {
-            let owner = self
-                .owner_key(op.key())
-                .expect("non-empty member list has an owner");
             match op {
-                DhtOp::NodeFor(_) => {
+                DhtOp::NodeFor(key) => {
+                    let owner = self
+                        .owner_key(&key)
+                        .expect("non-empty member list has an owner");
                     results[i] = Some(Ok(DhtResponse::Node(self.members[&owner].id)));
+                    routes.push(None);
                 }
                 op => {
                     self.metrics.incr(&format!("net.ops.{}", op.kind()));
-                    groups.entry(owner).or_default().push((i, op));
+                    let candidates =
+                        placement::replica_keys(&self.ring, op.key(), self.config.replicas);
+                    let want = if matches!(op, DhtOp::Get(_)) && !written.contains(op.key()) {
+                        self.config.read_quorum.min(candidates.len())
+                    } else {
+                        1
+                    };
+                    routes.push(Some(Route {
+                        kind: op.kind(),
+                        op,
+                        candidates,
+                        tried: 0,
+                        want,
+                        successes: Vec::new(),
+                        reply_error: None,
+                    }));
                 }
             }
         }
-        // Write phase: one frame per member, all requests on the wire
-        // before the first reply is awaited. Connection guards are held
-        // in ring order, so concurrent batches cannot deadlock.
-        let mut in_flight: Vec<InFlight<'_>> = Vec::with_capacity(groups.len());
-        for (owner, group) in groups {
-            let member = &self.members[&owner];
-            let meta: Vec<(usize, &'static str)> =
-                group.iter().map(|(i, op)| (*i, op.kind())).collect();
-            let mut slot = member.conn.lock().expect("connection pool poisoned");
-            if slot.is_none() {
-                match self.dial(member.addr) {
-                    Ok(stream) => *slot = Some(stream),
+        let mut round = 0usize;
+        loop {
+            round += 1;
+            // Scheduling: every unsettled op claims its next untried
+            // replicas, up to its remaining quorum deficit; an op with
+            // none left settles by exhaustion.
+            let mut attempts: BTreeMap<Key, Vec<(usize, usize)>> = BTreeMap::new();
+            for (i, slot) in routes.iter_mut().enumerate() {
+                let Some(route) = slot else { continue };
+                if results[i].is_some() {
+                    continue;
+                }
+                let deficit = route.want - route.successes.len();
+                let available = route.candidates.len() - route.tried;
+                if available == 0 {
+                    // Out of replicas. A remote error reply caused this
+                    // (count the pair, as a unary client would); pure
+                    // transport failures completed no pair and count
+                    // nothing.
+                    self.metrics.incr("net.quorum.exhausted");
+                    results[i] = Some(match route.reply_error.take() {
+                        Some(e) => self.complete(route.kind, Err(e)),
+                        None => Err(DhtError::Timeout),
+                    });
+                    continue;
+                }
+                for _ in 0..deficit.min(available) {
+                    let rank = route.tried;
+                    let member = route.candidates[rank];
+                    route.tried += 1;
+                    if round > 1 {
+                        self.metrics.incr("net.quorum.failovers");
+                    }
+                    attempts.entry(member).or_default().push((i, rank));
+                }
+            }
+            if attempts.is_empty() {
+                break;
+            }
+            // Write phase: one frame per member, all requests on the wire
+            // before the first reply is awaited. Connection guards are
+            // held in ring order, so concurrent batches cannot deadlock.
+            let mut in_flight: Vec<InFlight<'_>> = Vec::with_capacity(attempts.len());
+            // A failed attempt needs no bookkeeping here: the next
+            // round's scheduler recomputes each op's quorum deficit and
+            // claims fresh replicas (or settles by exhaustion).
+            for (member_key, group) in attempts {
+                let member = &self.members[&member_key];
+                let mut slot = member.conn.lock().expect("connection pool poisoned");
+                if slot.is_none() {
+                    match self.dial(member.addr) {
+                        Ok(stream) => *slot = Some(stream),
+                        Err(_) => {
+                            self.metrics.incr("net.connect_errors");
+                            continue;
+                        }
+                    }
+                }
+                let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+                let batch = group.len() > 1;
+                let msg = if batch {
+                    Message::Batch {
+                        id,
+                        ops: group
+                            .iter()
+                            .map(|&(i, _)| routes[i].as_ref().expect("routed op").op.clone())
+                            .collect(),
+                    }
+                } else {
+                    Message::Request {
+                        id,
+                        op: routes[group[0].0].as_ref().expect("routed op").op.clone(),
+                    }
+                };
+                let started = Instant::now();
+                let stream = slot.as_mut().expect("connection just ensured");
+                match write_message(stream, &msg) {
+                    Ok(sent) => {
+                        self.metrics.incr("net.frames_out");
+                        self.metrics.add("net.bytes_out", sent as u64);
+                        if batch {
+                            self.metrics.incr("net.batch.frames_out");
+                        }
+                        in_flight.push(InFlight {
+                            slot,
+                            id,
+                            batch,
+                            started,
+                            group,
+                        });
+                    }
                     Err(_) => {
-                        self.metrics.incr("net.connect_errors");
-                        fail_group(&mut results, &meta);
+                        self.metrics.incr("net.transport_errors");
+                        *slot = None;
+                    }
+                }
+            }
+            // Read phase, same member order: each reply feeds its ops'
+            // routes; ops settle the moment their quorum is reached.
+            for mut flight in in_flight {
+                let stream = flight.slot.as_mut().expect("stream pending a reply");
+                let (reply, received) = match read_message(stream) {
+                    Ok(ok) => ok,
+                    Err(RecvError::Closed) | Err(RecvError::Io(_)) => {
+                        self.metrics.incr("net.transport_errors");
+                        *flight.slot = None;
                         continue;
                     }
-                }
-            }
-            let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
-            let batch = group.len() > 1;
-            let msg = if batch {
-                Message::Batch {
-                    id,
-                    ops: group.into_iter().map(|(_, op)| op).collect(),
-                }
-            } else {
-                let (_, op) = group.into_iter().next().expect("single-op group");
-                Message::Request { id, op }
-            };
-            let started = Instant::now();
-            let stream = slot.as_mut().expect("connection just ensured");
-            match write_message(stream, &msg) {
-                Ok(sent) => {
-                    self.metrics.incr("net.frames_out");
-                    self.metrics.add("net.bytes_out", sent as u64);
-                    if batch {
-                        self.metrics.incr("net.batch.frames_out");
+                    Err(RecvError::Wire(_)) => {
+                        self.metrics.incr("net.decode_errors");
+                        *flight.slot = None;
+                        continue;
                     }
-                    in_flight.push(InFlight {
-                        slot,
+                };
+                self.metrics.incr("net.frames_in");
+                self.metrics.add("net.bytes_in", received as u64);
+                let elapsed = flight.started.elapsed().as_micros() as u64;
+                match reply {
+                    Message::Response { id, result } if !flight.batch && id == flight.id => {
+                        self.metrics.observe("net.rpc_micros", elapsed);
+                        let (index, rank) = flight.group[0];
+                        self.absorb(&mut routes, &mut results, index, rank, result);
+                    }
+                    Message::BatchReply {
                         id,
-                        batch,
-                        started,
-                        group: meta,
-                    });
-                }
-                Err(_) => {
-                    self.metrics.incr("net.transport_errors");
-                    *slot = None;
-                    fail_group(&mut results, &meta);
-                }
-            }
-        }
-        // Read phase, same member order: each reply settles its whole
-        // group, with per-op accounting identical to the unary sequence.
-        for mut flight in in_flight {
-            let stream = flight.slot.as_mut().expect("stream pending a reply");
-            let (reply, received) = match read_message(stream) {
-                Ok(ok) => ok,
-                Err(RecvError::Closed) | Err(RecvError::Io(_)) => {
-                    self.metrics.incr("net.transport_errors");
-                    *flight.slot = None;
-                    fail_group(&mut results, &flight.group);
-                    continue;
-                }
-                Err(RecvError::Wire(_)) => {
-                    self.metrics.incr("net.decode_errors");
-                    *flight.slot = None;
-                    fail_group(&mut results, &flight.group);
-                    continue;
-                }
-            };
-            self.metrics.incr("net.frames_in");
-            self.metrics.add("net.bytes_in", received as u64);
-            let elapsed = flight.started.elapsed().as_micros() as u64;
-            match reply {
-                Message::Response { id, result } if !flight.batch && id == flight.id => {
-                    self.metrics.observe("net.rpc_micros", elapsed);
-                    let (index, kind) = flight.group[0];
-                    results[index] = Some(self.complete(kind, result));
-                }
-                Message::BatchReply {
-                    id,
-                    results: answers,
-                } if flight.batch && id == flight.id && answers.len() == flight.group.len() => {
-                    self.metrics.incr("net.batch.frames_in");
-                    self.metrics.add("net.batch.ops", answers.len() as u64);
-                    self.metrics.observe("net.batch.rpc_micros", elapsed);
-                    for (&(index, kind), result) in flight.group.iter().zip(answers) {
-                        results[index] = Some(self.complete(kind, result));
+                        results: answers,
+                    } if flight.batch && id == flight.id && answers.len() == flight.group.len() => {
+                        self.metrics.incr("net.batch.frames_in");
+                        self.metrics.add("net.batch.ops", answers.len() as u64);
+                        self.metrics.observe("net.batch.rpc_micros", elapsed);
+                        for (&(index, rank), result) in flight.group.iter().zip(answers) {
+                            self.absorb(&mut routes, &mut results, index, rank, result);
+                        }
                     }
-                }
-                // A mismatched id, kind, or result count means the stream
-                // is out of sync; drop it rather than guess.
-                _ => {
-                    self.metrics.incr("net.decode_errors");
-                    *flight.slot = None;
-                    fail_group(&mut results, &flight.group);
+                    // A mismatched id, kind, or result count means the
+                    // stream is out of sync; drop it rather than guess.
+                    _ => {
+                        self.metrics.incr("net.decode_errors");
+                        *flight.slot = None;
+                    }
                 }
             }
         }
@@ -360,6 +501,39 @@ impl RemoteDht {
             .into_iter()
             .map(|slot| slot.expect("every op resolved exactly once"))
             .collect()
+    }
+
+    /// Feeds one attempt's remote reply into its op's route, settling
+    /// the op if the quorum is reached or the error is final.
+    fn absorb(
+        &self,
+        routes: &mut [Option<Route>],
+        results: &mut [Option<Result<DhtResponse, DhtError>>],
+        index: usize,
+        rank: usize,
+        result: Result<DhtResponse, DhtError>,
+    ) {
+        if results[index].is_some() {
+            // A slower sibling attempt answered after the op settled.
+            return;
+        }
+        let route = routes[index].as_mut().expect("reply for a routed op");
+        match result {
+            Ok(resp) => {
+                route.successes.push((rank, resp));
+                if route.successes.len() >= route.want {
+                    results[index] = Some(self.complete(route.kind, Ok(route.settle_response())));
+                }
+            }
+            Err(DhtError::Timeout) => {
+                // Transient: remember it and let the scheduler fail over.
+                route.reply_error = Some(DhtError::Timeout);
+            }
+            Err(e) => {
+                // Final remote error: no replica can do better.
+                results[index] = Some(self.complete(route.kind, Err(e)));
+            }
+        }
     }
 
     fn execute_inner(&self, op: DhtOp) -> Result<DhtResponse, DhtError> {

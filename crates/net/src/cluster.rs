@@ -13,7 +13,7 @@
 //! the single-process fast path.
 
 use std::io;
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpListener};
 
 use bytes::Bytes;
 use p2p_index_dht::{
@@ -22,7 +22,7 @@ use p2p_index_dht::{
 use p2p_index_obs::MetricsRegistry;
 
 use crate::client::{RemoteDht, RemoteDhtConfig};
-use crate::server::{DhtServer, ServerConfig};
+use crate::server::{DhtServer, ReplicationConfig, ServerConfig};
 
 /// A set of in-process `dhtd` servers, one per node, on loopback.
 pub struct LoopbackCluster {
@@ -50,6 +50,48 @@ impl LoopbackCluster {
                 FaultConfig::lossy(node_seed, loss),
             ))
         })
+    }
+
+    /// Starts `n` servers named `node-0..n-1` forming one replicated
+    /// cluster: every key lives on `replicas` clockwise successors and
+    /// writes need `write_quorum` acks. All listeners are bound *before*
+    /// any server spawns, so every member can dial every other from its
+    /// very first frame — no bootstrap races.
+    pub fn start_replicated_ring(
+        n: usize,
+        replicas: usize,
+        write_quorum: usize,
+    ) -> io::Result<LoopbackCluster> {
+        let mut listeners = Vec::with_capacity(n);
+        let mut members = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = NodeId::hash_of(&format!("node-{i}"));
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            members.push((id, listener.local_addr()?));
+            listeners.push((id, listener));
+        }
+        let ring_members: Vec<(Key, SocketAddr)> = members
+            .iter()
+            .map(|(id, addr)| (*id.key(), *addr))
+            .collect();
+        let mut servers = Vec::with_capacity(n);
+        for (id, listener) in listeners {
+            let config = ServerConfig {
+                replication: Some(ReplicationConfig::new(
+                    *id.key(),
+                    ring_members.clone(),
+                    replicas,
+                    write_quorum,
+                )),
+                ..ServerConfig::default()
+            };
+            servers.push(DhtServer::spawn_on(
+                listener,
+                Box::new(RingDht::from_ids([*id.key()])),
+                config,
+            )?);
+        }
+        Ok(LoopbackCluster { servers, members })
     }
 
     /// Starts `n` servers with substrates built by `make`, one per node id
@@ -84,9 +126,38 @@ impl LoopbackCluster {
         RemoteDht::connect(self.members.clone(), config)
     }
 
+    /// A fresh replica-aware client: routes over `replicas` candidate
+    /// members per key and reads at quorum `read_quorum`.
+    pub fn replicated_client(&self, replicas: usize, read_quorum: usize) -> RemoteDht {
+        self.client_with(RemoteDhtConfig {
+            replicas,
+            read_quorum,
+            ..RemoteDhtConfig::default()
+        })
+    }
+
     /// Total operations answered across all servers.
     pub fn ops_served(&self) -> u64 {
         self.servers.iter().map(DhtServer::ops_served).sum()
+    }
+
+    /// Direct access to one member's server handle — lets tests wipe a
+    /// substrate in place (a stale replica) or force a repair pass.
+    pub fn server(&self, index: usize) -> &DhtServer {
+        &self.servers[index]
+    }
+
+    /// Mutable access to one member's server handle — lets tests crash a
+    /// member in place with [`DhtServer::halt`].
+    pub fn server_mut(&mut self, index: usize) -> &mut DhtServer {
+        &mut self.servers[index]
+    }
+
+    /// Runs one synchronous anti-entropy pass on every member.
+    pub fn repair_all(&self) {
+        for server in &self.servers {
+            server.repair_now();
+        }
     }
 
     /// Shuts every server down, joining their threads.
@@ -117,6 +188,28 @@ impl ClusterDht {
             client,
             cluster: Some(cluster),
         })
+    }
+
+    /// Starts a replicated ring cluster (factor `replicas`, write quorum
+    /// `write_quorum`) and a replica-aware client reading at
+    /// `read_quorum` over it.
+    pub fn start_replicated_ring(
+        n: usize,
+        replicas: usize,
+        write_quorum: usize,
+        read_quorum: usize,
+    ) -> io::Result<ClusterDht> {
+        let cluster = LoopbackCluster::start_replicated_ring(n, replicas, write_quorum)?;
+        let client = cluster.replicated_client(replicas, read_quorum);
+        Ok(ClusterDht {
+            client,
+            cluster: Some(cluster),
+        })
+    }
+
+    /// The underlying cluster (kill, wipe, or repair individual members).
+    pub fn cluster(&self) -> &LoopbackCluster {
+        self.cluster.as_ref().expect("cluster alive until drop")
     }
 
     /// Starts a fault-injecting ring cluster (see
@@ -194,6 +287,91 @@ mod tests {
             assert_eq!(Dht::get(&cluster, &key), Dht::get(&ring, &key));
         }
         assert_eq!(cluster.stats(), ring.stats());
+    }
+
+    #[test]
+    fn replicated_cluster_matches_unreplicated_twin_results_and_stats() {
+        // Replication must be invisible to correct clients: same results
+        // and the same per-op accounting as the plain ring convention.
+        let mut cluster = ClusterDht::start_replicated_ring(5, 3, 2, 2).expect("cluster");
+        let mut ring = RingDht::with_named_nodes(5);
+        for i in 0..30 {
+            let key = Key::hash_of(&format!("k{i}"));
+            let value = Bytes::from(format!("v{i}"));
+            assert_eq!(cluster.put(key, value.clone()), ring.put(key, value));
+        }
+        for i in 0..30 {
+            let key = Key::hash_of(&format!("k{i}"));
+            assert_eq!(Dht::get(&cluster, &key), Dht::get(&ring, &key), "k{i}");
+        }
+        assert_eq!(cluster.stats(), ring.stats());
+    }
+
+    #[test]
+    fn replicated_cluster_survives_a_crashed_member() {
+        let cluster = LoopbackCluster::start_replicated_ring(5, 3, 2).expect("cluster");
+        let mut client = cluster.replicated_client(3, 2);
+        for i in 0..30 {
+            let key = Key::hash_of(&format!("churn-{i}"));
+            assert!(client.put(key, Bytes::from(format!("v{i}"))));
+        }
+        let mut cluster = cluster;
+        cluster.server_mut(2).halt();
+        // Every key stays readable at quorum 2: a dead replica costs one
+        // failover round, never a miss or an error.
+        for i in 0..30 {
+            let key = Key::hash_of(&format!("churn-{i}"));
+            let values = Dht::get(&client, &key);
+            assert_eq!(values, vec![Bytes::from(format!("v{i}"))], "churn-{i}");
+        }
+        // Writes keep succeeding too: a primary-dead key fails over to a
+        // surviving replica, whose fan-out still reaches quorum 2.
+        for i in 0..10 {
+            let key = Key::hash_of(&format!("post-crash-{i}"));
+            assert!(client.put(key, Bytes::from_static(b"pv")));
+            assert_eq!(Dht::get(&client, &key), vec![Bytes::from_static(b"pv")]);
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn stale_replica_is_masked_by_quorum_and_refilled_by_repair() {
+        let cluster = LoopbackCluster::start_replicated_ring(3, 3, 2).expect("cluster");
+        let mut client = cluster.replicated_client(3, 2);
+        for i in 0..20 {
+            let key = Key::hash_of(&format!("stale-{i}"));
+            assert!(client.put(key, Bytes::from(format!("v{i}"))));
+        }
+        // Wipe member 1 in place: it keeps serving, but from an empty
+        // store — a stale replica.
+        let member_key = *cluster.members()[1].0.key();
+        cluster
+            .server(1)
+            .replace_substrate(Box::new(RingDht::from_ids([member_key])));
+        let solo = RemoteDht::connect(vec![cluster.members()[1]], RemoteDhtConfig::default());
+        assert!(
+            Dht::get(&solo, &Key::hash_of("stale-0")).is_empty(),
+            "the wiped member must actually be empty"
+        );
+        // Quorum-2 reads mask the stale member: with R = 3 some healthy
+        // replica is always in the quorum, and the lowest-ranked
+        // non-empty reply wins.
+        for i in 0..20 {
+            let key = Key::hash_of(&format!("stale-{i}"));
+            assert_eq!(
+                Dht::get(&client, &key),
+                vec![Bytes::from(format!("v{i}"))],
+                "stale-{i}"
+            );
+        }
+        // One anti-entropy pass from the healthy members refills it.
+        cluster.repair_all();
+        assert_eq!(
+            Dht::get(&solo, &Key::hash_of("stale-0")),
+            vec![Bytes::from_static(b"v0")],
+            "repair must restore the wiped member's replica"
+        );
+        cluster.shutdown();
     }
 
     #[test]

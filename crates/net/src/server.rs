@@ -18,7 +18,29 @@
 //! Per-connection read timeouts double as the shutdown poll interval: a
 //! worker blocked in `read` wakes at least every `read_timeout` to check
 //! the flag, so shutdown latency is bounded without extra machinery.
+//!
+//! # Replication
+//!
+//! With a [`ReplicationConfig`] the server becomes one member of a
+//! replicated cluster. Writes (`Put` / `Remove`) arriving as client
+//! `Request` / `Batch` frames are applied locally and fanned out as
+//! [`Message::Replicate`](crate::wire::Message::Replicate) frames to the
+//! other members of the key's replica set — the R clockwise successors
+//! shared with `p2p_index_dht::placement`, so client routing, server
+//! fan-out, and repair can never disagree. The local apply plus remote
+//! acks must reach the write quorum `W` or the client sees a transient
+//! [`DhtError::Timeout`]. Incoming `Replicate` and
+//! [`Transfer`](crate::wire::Message::Transfer) frames apply locally and
+//! are **never re-forwarded**, so replication storms are impossible by
+//! construction. A background anti-entropy thread periodically pushes
+//! every local entry to the other members of its replica set (add-only;
+//! `NodeStore::put` deduplicates, so repair is idempotent), which is what
+//! restores the replication factor after a member is killed and
+//! restarted empty. A wire shutdown first drains the local partition to
+//! the surviving members of each key's replica set (graceful leave),
+//! then stops.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -26,10 +48,48 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use p2p_index_dht::Dht;
+use bytes::Bytes;
+use p2p_index_dht::{placement, Dht, DhtError, DhtOp, DhtResponse, Key};
 use p2p_index_obs::MetricsRegistry;
 
 use crate::wire::{read_message, write_message, Message, RecvError};
+
+/// Cluster membership and quorum settings for one replicated server.
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// This server's own position on the identifier circle.
+    pub node_key: Key,
+    /// Every cluster member (including self) as `(ring key, address)`.
+    pub members: Vec<(Key, SocketAddr)>,
+    /// Replication factor R: each key lives on the R clockwise
+    /// successors of its hash (clamped to the cluster size).
+    pub replicas: usize,
+    /// Write quorum W: a write succeeds once `W` replicas (the local
+    /// apply counts as one) have acknowledged it.
+    pub write_quorum: usize,
+    /// Anti-entropy interval; `None` disables the repair thread.
+    pub repair_interval: Option<Duration>,
+}
+
+impl ReplicationConfig {
+    /// A config for node `node_key` in `members`, with quorums clamped to
+    /// sane bounds (`1 ≤ W ≤ R ≤ n`).
+    pub fn new(
+        node_key: Key,
+        members: Vec<(Key, SocketAddr)>,
+        replicas: usize,
+        write_quorum: usize,
+    ) -> ReplicationConfig {
+        let replicas = replicas.clamp(1, members.len().max(1));
+        ReplicationConfig {
+            node_key,
+            members,
+            replicas,
+            write_quorum: write_quorum.clamp(1, replicas),
+            repair_interval: Some(Duration::from_millis(200)),
+        }
+    }
+}
 
 /// Tuning knobs for a [`DhtServer`].
 #[derive(Debug, Clone)]
@@ -43,6 +103,9 @@ pub struct ServerConfig {
     pub accept_poll: Duration,
     /// Metrics sink for the `net.server.*` series (disabled by default).
     pub metrics: MetricsRegistry,
+    /// Replicated-cluster membership; `None` (the default) serves a
+    /// plain unreplicated partition, byte-identical to prior builds.
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl Default for ServerConfig {
@@ -52,7 +115,116 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(2),
             accept_poll: Duration::from_millis(10),
             metrics: MetricsRegistry::disabled(),
+            replication: None,
         }
+    }
+}
+
+/// One peer's lazily-dialed, poisoned-on-failure server-to-server
+/// connection (the same pooling discipline as the client).
+struct Peer {
+    addr: SocketAddr,
+    conn: Mutex<Option<TcpStream>>,
+}
+
+/// Replication state shared by connection workers and the repair thread.
+struct Replication {
+    node_key: Key,
+    /// All member ring keys, ascending — the placement ring.
+    ring: Vec<Key>,
+    /// Other members (self excluded) by ring key.
+    peers: BTreeMap<Key, Peer>,
+    replicas: usize,
+    write_quorum: usize,
+    repair_interval: Option<Duration>,
+    next_request_id: AtomicU64,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+}
+
+impl Replication {
+    fn from_config(config: ReplicationConfig) -> Replication {
+        let mut ring: Vec<Key> = config.members.iter().map(|(k, _)| *k).collect();
+        ring.sort_unstable();
+        ring.dedup();
+        let peers = config
+            .members
+            .iter()
+            .filter(|(k, _)| *k != config.node_key)
+            .map(|(k, addr)| {
+                (
+                    *k,
+                    Peer {
+                        addr: *addr,
+                        conn: Mutex::new(None),
+                    },
+                )
+            })
+            .collect();
+        Replication {
+            node_key: config.node_key,
+            ring,
+            peers,
+            replicas: config.replicas,
+            write_quorum: config.write_quorum,
+            repair_interval: config.repair_interval,
+            next_request_id: AtomicU64::new(1),
+            // Server-to-server calls stay well under typical client read
+            // timeouts, so one dead peer can stall a quorum write only
+            // briefly — the client never times out waiting on our timeout.
+            connect_timeout: Duration::from_millis(300),
+            io_timeout: Duration::from_millis(700),
+        }
+    }
+
+    /// The replica set for `key`: this node first if it is a member,
+    /// then the other members in ring order.
+    fn replica_set(&self, key: &Key) -> Vec<Key> {
+        placement::replica_keys(&self.ring, key, self.replicas)
+    }
+
+    /// Sends one frame to `peer` and awaits its `Response`, returning the
+    /// remote result. Any transport or protocol failure poisons the
+    /// pooled connection and reports `Err(())` — the caller treats it as
+    /// a missing ack, never as fatal.
+    fn peer_call(
+        &self,
+        peer_key: &Key,
+        msg: &Message,
+    ) -> Result<Result<DhtResponse, DhtError>, ()> {
+        let peer = self.peers.get(peer_key).ok_or(())?;
+        let mut slot = peer.conn.lock().expect("peer pool poisoned");
+        if slot.is_none() {
+            let stream = TcpStream::connect_timeout(&peer.addr, self.connect_timeout)
+                .and_then(|s| {
+                    s.set_read_timeout(Some(self.io_timeout))?;
+                    s.set_write_timeout(Some(self.io_timeout))?;
+                    s.set_nodelay(true)?;
+                    Ok(s)
+                })
+                .map_err(|_| ())?;
+            *slot = Some(stream);
+        }
+        let stream = slot.as_mut().expect("peer connection just ensured");
+        let sent_id = match msg {
+            Message::Replicate { id, .. } | Message::Transfer { id, .. } => *id,
+            _ => 0,
+        };
+        if write_message(stream, msg).is_err() {
+            *slot = None;
+            return Err(());
+        }
+        match read_message(stream) {
+            Ok((Message::Response { id, result }, _)) if id == sent_id => Ok(result),
+            _ => {
+                *slot = None;
+                Err(())
+            }
+        }
+    }
+
+    fn next_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed)
     }
 }
 
@@ -65,6 +237,8 @@ struct Shared {
     write_timeout: Duration,
     /// Operations served since spawn (requests answered, ok or error).
     served: AtomicU64,
+    /// `Some` when this server is a member of a replicated cluster.
+    replication: Option<Replication>,
 }
 
 /// A running DHT node server. Dropping the handle shuts the server down.
@@ -72,6 +246,7 @@ pub struct DhtServer {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    repair_thread: Option<JoinHandle<()>>,
 }
 
 impl DhtServer {
@@ -83,9 +258,21 @@ impl DhtServer {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<DhtServer> {
-        let listener = TcpListener::bind(addr)?;
+        Self::spawn_on(TcpListener::bind(addr)?, dht, config)
+    }
+
+    /// Starts serving on an already-bound listener. Replicated clusters
+    /// bootstrap this way: bind every member's listener first, collect
+    /// the addresses into each [`ReplicationConfig`], then spawn — no
+    /// member ever dials a peer that hasn't bound yet.
+    pub fn spawn_on(
+        listener: TcpListener,
+        dht: Box<dyn Dht + Send>,
+        config: ServerConfig,
+    ) -> io::Result<DhtServer> {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let replication = config.replication.map(Replication::from_config);
         let shared = Arc::new(Shared {
             dht: Mutex::new(dht),
             stop: AtomicBool::new(false),
@@ -93,17 +280,46 @@ impl DhtServer {
             read_timeout: config.read_timeout,
             write_timeout: config.write_timeout,
             served: AtomicU64::new(0),
+            replication,
         });
         let accept_shared = Arc::clone(&shared);
         let poll = config.accept_poll;
         let accept_thread = std::thread::Builder::new()
             .name(format!("dhtd-accept-{}", local_addr.port()))
             .spawn(move || accept_loop(listener, accept_shared, poll))?;
+        let repair_thread = match shared.replication.as_ref().and_then(|r| r.repair_interval) {
+            Some(interval) if shared.replication.as_ref().is_some_and(|r| r.replicas > 1) => {
+                let repair_shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name(format!("dhtd-repair-{}", local_addr.port()))
+                        .spawn(move || repair_loop(repair_shared, interval))?,
+                )
+            }
+            _ => None,
+        };
         Ok(DhtServer {
             local_addr,
             shared,
             accept_thread: Some(accept_thread),
+            repair_thread,
         })
+    }
+
+    /// Swaps the served substrate in place, returning the old one. Lets
+    /// tests wipe one member (a "stale replica") without rebinding its
+    /// port, and is how a restarted daemon would rejoin with an empty
+    /// store before repair refills it.
+    pub fn replace_substrate(&self, dht: Box<dyn Dht + Send>) -> Box<dyn Dht + Send> {
+        let mut slot = self.shared.dht.lock().expect("server substrate poisoned");
+        std::mem::replace(&mut *slot, dht)
+    }
+
+    /// Runs one synchronous anti-entropy pass now (in addition to the
+    /// periodic thread), so tests can await "replication factor restored"
+    /// without sleeping for the interval.
+    pub fn repair_now(&self) {
+        repair_pass(&self.shared);
     }
 
     /// The bound address — read this after `port 0` to learn the
@@ -129,6 +345,9 @@ impl DhtServer {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.repair_thread.take() {
+            let _ = handle.join();
+        }
     }
 
     /// Stops accepting, drains in-flight requests, and joins all threads.
@@ -136,9 +355,19 @@ impl DhtServer {
         self.shutdown_in_place();
     }
 
+    /// Like [`DhtServer::shutdown`] but by reference, so a cluster can
+    /// crash one member in place while the rest keep serving. No
+    /// graceful-leave drain happens — this models failure, not leave.
+    pub fn halt(&mut self) {
+        self.shutdown_in_place();
+    }
+
     fn shutdown_in_place(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.repair_thread.take() {
             let _ = handle.join();
         }
     }
@@ -220,10 +449,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
         match msg {
             Message::Request { id, op } => {
                 let kind = op.kind();
-                let result = {
-                    let mut dht = shared.dht.lock().expect("server substrate poisoned");
-                    dht.execute(op)
-                };
+                let result = replicated_execute(&shared, op);
                 shared.served.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.incr(&format!("net.server.ops.{kind}"));
                 if result.is_err() {
@@ -244,10 +470,16 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             Message::Batch { id, ops } => {
                 // A whole batch executes in one connection turn: the
                 // substrate lock is taken once, every op runs in order,
-                // and a single BatchReply answers them all.
+                // and a single BatchReply answers them all. (Replicated
+                // servers go op by op instead, because write fan-out must
+                // not happen under the substrate lock.)
                 let count = ops.len() as u64;
                 let kinds: Vec<&'static str> = ops.iter().map(|op| op.kind()).collect();
-                let results = {
+                let results = if shared.replication.is_some() {
+                    ops.into_iter()
+                        .map(|op| replicated_execute(&shared, op))
+                        .collect()
+                } else {
                     let mut dht = shared.dht.lock().expect("server substrate poisoned");
                     dht.execute_many(ops)
                 };
@@ -272,8 +504,51 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     }
                 }
             }
+            Message::Replicate { id, op } => {
+                // A peer's write fan-out: apply locally, reply, and never
+                // re-forward — only client `Request`/`Batch` frames fan
+                // out, so replication storms cannot happen.
+                let result = {
+                    let mut dht = shared.dht.lock().expect("server substrate poisoned");
+                    dht.execute(op)
+                };
+                shared.metrics.incr("net.server.replica.applied");
+                let reply = Message::Response { id, result };
+                if write_message(&mut stream, &reply).is_err() {
+                    shared.metrics.incr("net.server.transport_errors");
+                    return;
+                }
+            }
+            Message::Transfer { id, entries } => {
+                // Bulk handoff from a leaving peer or a repair pass:
+                // apply every value locally (puts deduplicate, so
+                // re-transfers are no-ops), never re-forward.
+                let values: u64 = entries.iter().map(|(_, vs)| vs.len() as u64).sum();
+                {
+                    let mut dht = shared.dht.lock().expect("server substrate poisoned");
+                    for (key, values) in entries {
+                        for value in values {
+                            let _ = dht.execute(DhtOp::Put { key, value });
+                        }
+                    }
+                }
+                shared
+                    .metrics
+                    .add("net.server.replica.transfer_values", values);
+                let reply = Message::Response {
+                    id,
+                    result: Ok(DhtResponse::Stored(true)),
+                };
+                if write_message(&mut stream, &reply).is_err() {
+                    shared.metrics.incr("net.server.transport_errors");
+                    return;
+                }
+            }
             Message::Shutdown => {
                 shared.metrics.incr("net.server.shutdowns");
+                // Graceful leave: hand this node's partition to the
+                // surviving replica-set members before going quiet.
+                drain_partition(&shared);
                 shared.stop.store(true, Ordering::SeqCst);
                 return;
             }
@@ -282,6 +557,156 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 shared.metrics.incr("net.server.decode_errors");
                 return;
             }
+        }
+    }
+}
+
+/// Executes one client op; on a replicated server, writes are applied
+/// locally and fanned out to the rest of the key's replica set, and the
+/// write quorum `W` (local apply included) is enforced before replying.
+/// The substrate lock is never held across peer I/O.
+fn replicated_execute(shared: &Shared, op: DhtOp) -> Result<DhtResponse, DhtError> {
+    let repl = match shared.replication.as_ref() {
+        Some(repl)
+            if repl.replicas > 1 && matches!(op, DhtOp::Put { .. } | DhtOp::Remove { .. }) =>
+        {
+            repl
+        }
+        _ => {
+            let mut dht = shared.dht.lock().expect("server substrate poisoned");
+            return dht.execute(op);
+        }
+    };
+    let key = *op.key();
+    let local = {
+        let mut dht = shared.dht.lock().expect("server substrate poisoned");
+        dht.execute(op.clone())
+    };
+    let mut acks = usize::from(local.is_ok());
+    for member in repl.replica_set(&key) {
+        if member == repl.node_key {
+            continue;
+        }
+        let id = repl.next_id();
+        shared.metrics.incr("net.server.replica.fanout");
+        if let Ok(Ok(_)) = repl.peer_call(&member, &Message::Replicate { id, op: op.clone() }) {
+            acks += 1;
+            shared.metrics.incr("net.server.replica.acks");
+        }
+    }
+    if acks >= repl.write_quorum {
+        local
+    } else {
+        shared.metrics.incr("net.server.replica.quorum_failures");
+        Err(DhtError::Timeout)
+    }
+}
+
+/// Groups `(key, values)` entries by target member for one bulk push.
+fn group_entries(
+    entries: &[(Key, Vec<Bytes>)],
+    targets: impl Fn(&Key) -> Vec<Key>,
+    skip: &Key,
+) -> BTreeMap<Key, Vec<(Key, Vec<Bytes>)>> {
+    let mut grouped: BTreeMap<Key, Vec<(Key, Vec<Bytes>)>> = BTreeMap::new();
+    for (key, values) in entries {
+        for target in targets(key) {
+            if target != *skip {
+                grouped
+                    .entry(target)
+                    .or_default()
+                    .push((*key, values.clone()));
+            }
+        }
+    }
+    grouped
+}
+
+/// The periodic anti-entropy driver: a repair pass every `interval`,
+/// sleeping in short ticks so shutdown stays responsive.
+fn repair_loop(shared: Arc<Shared>, interval: Duration) {
+    let tick = Duration::from_millis(20).min(interval);
+    let mut since_last = Duration::ZERO;
+    while !shared.stop.load(Ordering::Relaxed) {
+        std::thread::sleep(tick);
+        since_last += tick;
+        if since_last >= interval {
+            since_last = Duration::ZERO;
+            repair_pass(&shared);
+        }
+    }
+}
+
+/// One anti-entropy pass: push every local entry to the other members of
+/// its replica set as `Transfer` frames, one per peer. Add-only and
+/// idempotent (receivers' puts deduplicate), so running it forever is
+/// safe; it is what refills a member that restarted empty.
+fn repair_pass(shared: &Shared) {
+    let Some(repl) = shared.replication.as_ref() else {
+        return;
+    };
+    if repl.replicas <= 1 || repl.peers.is_empty() {
+        return;
+    }
+    let entries = {
+        let dht = shared.dht.lock().expect("server substrate poisoned");
+        dht.entries()
+    };
+    if entries.is_empty() {
+        return;
+    }
+    let grouped = group_entries(&entries, |key| repl.replica_set(key), &repl.node_key);
+    for (target, batch) in grouped {
+        let values: u64 = batch.iter().map(|(_, vs)| vs.len() as u64).sum();
+        let id = repl.next_id();
+        let msg = Message::Transfer { id, entries: batch };
+        if repl.peer_call(&target, &msg).is_ok() {
+            shared.metrics.incr("net.server.replica.repair_pushes");
+            shared
+                .metrics
+                .add("net.server.replica.repair_values", values);
+        }
+    }
+}
+
+/// Graceful-leave drain: push this node's whole partition to each key's
+/// replica set as recomputed over the ring *without* this node, so the
+/// replication factor survives the departure. Best-effort — unreachable
+/// peers are skipped; the survivors' repair passes finish the job.
+fn drain_partition(shared: &Shared) {
+    let Some(repl) = shared.replication.as_ref() else {
+        return;
+    };
+    if repl.peers.is_empty() {
+        return;
+    }
+    let survivors: Vec<Key> = repl
+        .ring
+        .iter()
+        .copied()
+        .filter(|k| *k != repl.node_key)
+        .collect();
+    let entries = {
+        let dht = shared.dht.lock().expect("server substrate poisoned");
+        dht.entries()
+    };
+    if entries.is_empty() {
+        return;
+    }
+    let grouped = group_entries(
+        &entries,
+        |key| placement::replica_keys(&survivors, key, repl.replicas),
+        &repl.node_key,
+    );
+    for (target, batch) in grouped {
+        let values: u64 = batch.iter().map(|(_, vs)| vs.len() as u64).sum();
+        let id = repl.next_id();
+        let msg = Message::Transfer { id, entries: batch };
+        if repl.peer_call(&target, &msg).is_ok() {
+            shared.metrics.incr("net.server.replica.drain_pushes");
+            shared
+                .metrics
+                .add("net.server.replica.drain_values", values);
         }
     }
 }

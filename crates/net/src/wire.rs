@@ -7,10 +7,11 @@
 //! offset  size  field
 //! ------  ----  -----------------------------------------------------
 //!      0     4  magic        "PDHT"
-//!      4     1  version      0x01 unary kinds | 0x02 batch kinds
+//!      4     1  version      0x01 unary | 0x02 batch | 0x03 replication
 //!      5     1  kind         0x01 request | 0x02 ok-response |
 //!                            0x03 err-response | 0x04 shutdown |
-//!                            0x05 batch | 0x06 batch-reply
+//!                            0x05 batch | 0x06 batch-reply |
+//!                            0x07 replicate | 0x08 transfer
 //!      6     8  request id   big-endian u64 (0 for shutdown)
 //!     14     4  payload len  big-endian u32, <= MAX_PAYLOAD
 //!     18     n  payload      kind-specific, see below
@@ -32,9 +33,13 @@
 //! interoperates across builds. The two batch kinds are encoded at
 //! [`VERSION_BATCH`] (0x02); a batch kind under version 0x01 is rejected
 //! as [`WireError::UnknownKind`] — exactly what a genuine v1 peer would
-//! say — and any other version byte is [`WireError::UnsupportedVersion`].
-//! There is no in-band negotiation: a client must not send batch frames
-//! to a server it does not know to be v2-capable.
+//! say. The two server-to-server replication kinds (replicate and
+//! transfer) are encoded at [`VERSION_REPL`] (0x03) and rejected the same
+//! way under v1/v2 headers; any other version byte is
+//! [`WireError::UnsupportedVersion`]. There is no in-band negotiation: a
+//! client must not send batch frames to a server it does not know to be
+//! v2-capable, and only replication-configured servers speak v3 to each
+//! other.
 //!
 //! The request id exists for pipelining: a client may have several frames
 //! in flight on one connection and match responses by id. The bundled
@@ -59,6 +64,11 @@ pub const VERSION: u8 = 1;
 /// carry this byte.
 pub const VERSION_BATCH: u8 = 2;
 
+/// The protocol version that introduced the server-to-server replication
+/// frame kinds (replicate and transfer). Earlier kinds keep their
+/// original version bytes; only replicate/transfer frames carry this one.
+pub const VERSION_REPL: u8 = 3;
+
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 18;
 
@@ -73,6 +83,8 @@ const KIND_ERR: u8 = 0x03;
 const KIND_SHUTDOWN: u8 = 0x04;
 const KIND_BATCH: u8 = 0x05;
 const KIND_BATCH_REPLY: u8 = 0x06;
+const KIND_REPLICATE: u8 = 0x07;
+const KIND_TRANSFER: u8 = 0x08;
 
 /// Per-result status byte inside a batch-reply payload.
 const BATCH_OK: u8 = 0x00;
@@ -85,6 +97,10 @@ const MIN_OP_LEN: usize = 21;
 /// Smallest possible encoded batch result (status + tag + bool, or
 /// status + 2-byte error code): divisor for the batch-reply guard.
 const MIN_RESULT_LEN: usize = 3;
+
+/// Smallest possible encoded transfer entry (20-byte key + u32 value
+/// count): divisor for the transfer count-before-allocation guard.
+const MIN_ENTRY_LEN: usize = 24;
 
 const OP_NODE_FOR: u8 = 0x01;
 const OP_PUT: u8 = 0x02;
@@ -132,6 +148,37 @@ pub enum Message {
         /// Per-op outcomes, positionally matching the batch's ops.
         results: Vec<Result<DhtResponse, DhtError>>,
     },
+    /// A server-to-server replica write: apply `op` to the local
+    /// partition *without* re-forwarding it. Answered with a
+    /// [`Message::Response`] carrying the same `id`.
+    ///
+    /// Encoded at [`VERSION_REPL`]. This is a distinct kind (rather than
+    /// a flag on [`Message::Request`]) precisely so replication can never
+    /// cascade: a primary fans a client write out to its successors as
+    /// replicate frames, and a replicate frame is terminal by
+    /// construction.
+    Replicate {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// The storage operation to apply locally.
+        op: DhtOp,
+    },
+    /// A server-to-server bulk handoff: merge `entries` into the local
+    /// partition (idempotent multi-value puts, duplicates collapse).
+    /// Answered with a [`Message::Response`] carrying `Stored(true)` on
+    /// success. Used by a gracefully-leaving daemon to drain its
+    /// partition to successors, and by the repair pass to restore
+    /// replication factor after a restart.
+    ///
+    /// Encoded at [`VERSION_REPL`]; the entry vector is never empty (an
+    /// empty transfer is a [`WireError::BadPayload`] on decode — a peer
+    /// with nothing to hand off sends nothing).
+    Transfer {
+        /// Caller-chosen id echoed in the response.
+        id: u64,
+        /// `(key, values)` entries to merge, each with at least one value.
+        entries: Vec<(Key, Vec<Bytes>)>,
+    },
     /// Ask the server to stop accepting, drain its workers, and exit.
     Shutdown,
 }
@@ -170,7 +217,7 @@ impl fmt::Display for WireError {
             WireError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported protocol version {v} (this build speaks {VERSION} and {VERSION_BATCH})"
+                    "unsupported protocol version {v} (this build speaks {VERSION}, {VERSION_BATCH} and {VERSION_REPL})"
                 )
             }
             WireError::UnknownKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
@@ -220,7 +267,8 @@ impl From<WireError> for RecvError {
 /// Appends the encoded frame for `msg` to `buf`.
 ///
 /// Unary kinds encode at [`VERSION`] (byte-identical to every prior
-/// build); batch kinds carry [`VERSION_BATCH`].
+/// build); batch kinds carry [`VERSION_BATCH`]; replication kinds carry
+/// [`VERSION_REPL`].
 pub fn encode_message(msg: &Message, buf: &mut Vec<u8>) {
     let (version, kind, id) = match msg {
         Message::Request { id, .. } => (VERSION, KIND_REQUEST, *id),
@@ -230,6 +278,8 @@ pub fn encode_message(msg: &Message, buf: &mut Vec<u8>) {
         },
         Message::Batch { id, .. } => (VERSION_BATCH, KIND_BATCH, *id),
         Message::BatchReply { id, .. } => (VERSION_BATCH, KIND_BATCH_REPLY, *id),
+        Message::Replicate { id, .. } => (VERSION_REPL, KIND_REPLICATE, *id),
+        Message::Transfer { id, .. } => (VERSION_REPL, KIND_TRANSFER, *id),
         Message::Shutdown => (VERSION, KIND_SHUTDOWN, 0),
     };
     buf.extend_from_slice(&MAGIC);
@@ -262,6 +312,17 @@ pub fn encode_message(msg: &Message, buf: &mut Vec<u8>) {
                         buf.push(BATCH_ERR);
                         buf.extend_from_slice(&e.wire_code().to_be_bytes());
                     }
+                }
+            }
+        }
+        Message::Replicate { op, .. } => encode_op(op, buf),
+        Message::Transfer { entries, .. } => {
+            buf.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+            for (key, values) in entries {
+                buf.extend_from_slice(key.as_bytes());
+                buf.extend_from_slice(&(values.len() as u32).to_be_bytes());
+                for v in values {
+                    encode_bytes(v, buf);
                 }
             }
         }
@@ -410,7 +471,7 @@ pub fn decode_message(buf: &[u8]) -> Result<(Message, usize), WireError> {
         return Err(WireError::BadMagic(magic));
     }
     let version = buf[4];
-    if version != VERSION && version != VERSION_BATCH {
+    if !matches!(version, VERSION | VERSION_BATCH | VERSION_REPL) {
         return Err(WireError::UnsupportedVersion(version));
     }
     let kind = buf[5];
@@ -470,10 +531,14 @@ fn decode_response(r: &mut Reader<'_>) -> Result<DhtResponse, WireError> {
 }
 
 fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Message, WireError> {
-    // Batch kinds exist only at VERSION_BATCH. Under a v1 header they are
-    // rejected exactly as a genuine v1 peer would reject them: as an
-    // unknown kind, not a version failure.
+    // Batch kinds exist only at VERSION_BATCH, replication kinds only at
+    // VERSION_REPL. Under an earlier header each is rejected exactly as a
+    // genuine peer of that earlier version would reject it: as an unknown
+    // kind, not a version failure.
     if version < VERSION_BATCH && matches!(kind, KIND_BATCH | KIND_BATCH_REPLY) {
+        return Err(WireError::UnknownKind(kind));
+    }
+    if version < VERSION_REPL && matches!(kind, KIND_REPLICATE | KIND_TRANSFER) {
         return Err(WireError::UnknownKind(kind));
     }
     let mut r = Reader::new(payload);
@@ -535,6 +600,42 @@ fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Mess
             }
             Message::BatchReply { id, results }
         }
+        KIND_REPLICATE => Message::Replicate {
+            id,
+            op: decode_op(&mut r)?,
+        },
+        KIND_TRANSFER => {
+            let count = r.u32()? as usize;
+            if count == 0 {
+                return Err(WireError::BadPayload(
+                    "transfer must contain at least one entry",
+                ));
+            }
+            // Each entry costs at least its 20-byte key plus a 4-byte
+            // value count, so an absurd count fails before any allocation.
+            if count > r.remaining() / MIN_ENTRY_LEN {
+                return Err(WireError::Truncated);
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let key = r.key()?;
+                let vcount = r.u32()? as usize;
+                if vcount == 0 {
+                    return Err(WireError::BadPayload(
+                        "transfer entry must carry at least one value",
+                    ));
+                }
+                if vcount > r.remaining() / 4 {
+                    return Err(WireError::Truncated);
+                }
+                let mut values = Vec::with_capacity(vcount);
+                for _ in 0..vcount {
+                    values.push(r.bytes()?);
+                }
+                entries.push((key, values));
+            }
+            Message::Transfer { id, entries }
+        }
         KIND_SHUTDOWN => Message::Shutdown,
         other => return Err(WireError::UnknownKind(other)),
     };
@@ -567,7 +668,7 @@ pub fn read_message(r: &mut impl Read) -> Result<(Message, usize), RecvError> {
         return Err(WireError::BadMagic(magic).into());
     }
     let version = header[4];
-    if version != VERSION && version != VERSION_BATCH {
+    if !matches!(version, VERSION | VERSION_BATCH | VERSION_REPL) {
         return Err(WireError::UnsupportedVersion(version).into());
     }
     let kind = header[5];
@@ -685,6 +786,27 @@ mod tests {
                 Err(DhtError::Timeout),
             ],
         });
+        roundtrip(Message::Replicate {
+            id: 15,
+            op: DhtOp::Put {
+                key,
+                value: Bytes::from_static(b"copy"),
+            },
+        });
+        roundtrip(Message::Replicate {
+            id: 16,
+            op: DhtOp::Remove {
+                key,
+                value: Bytes::from_static(b"copy"),
+            },
+        });
+        roundtrip(Message::Transfer {
+            id: 17,
+            entries: vec![
+                (key, vec![Bytes::from_static(b""), Bytes::from_static(b"a")]),
+                (Key::hash_of("k2"), vec![Bytes::from_static(b"b")]),
+            ],
+        });
     }
 
     #[test]
@@ -705,6 +827,108 @@ mod tests {
             op: DhtOp::Get(Key::hash_of("k")),
         });
         assert_eq!(buf[4], VERSION);
+    }
+
+    #[test]
+    fn replication_frames_carry_the_repl_version() {
+        let buf = encode_to_vec(&Message::Replicate {
+            id: 1,
+            op: DhtOp::Get(Key::hash_of("k")),
+        });
+        assert_eq!(buf[4], VERSION_REPL);
+        let buf = encode_to_vec(&Message::Transfer {
+            id: 1,
+            entries: vec![(Key::hash_of("k"), vec![Bytes::from_static(b"v")])],
+        });
+        assert_eq!(buf[4], VERSION_REPL);
+        // Batch and unary frames are untouched: still versions 2 and 1.
+        let buf = encode_to_vec(&Message::Batch {
+            id: 1,
+            ops: vec![DhtOp::Get(Key::hash_of("k"))],
+        });
+        assert_eq!(buf[4], VERSION_BATCH);
+        let buf = encode_to_vec(&Message::Request {
+            id: 1,
+            op: DhtOp::Get(Key::hash_of("k")),
+        });
+        assert_eq!(buf[4], VERSION);
+    }
+
+    #[test]
+    fn replication_kind_under_v1_or_v2_is_rejected_as_unknown_kind() {
+        // A genuine v1 or v2 peer would say "unknown kind 0x07/0x08", so
+        // an earlier header smuggling a replication kind must fail the
+        // same way — not decode.
+        for version in [VERSION, VERSION_BATCH] {
+            let mut buf = encode_to_vec(&Message::Replicate {
+                id: 3,
+                op: DhtOp::Get(Key::hash_of("k")),
+            });
+            buf[4] = version;
+            assert_eq!(decode_message(&buf), Err(WireError::UnknownKind(0x07)));
+            let mut buf = encode_to_vec(&Message::Transfer {
+                id: 3,
+                entries: vec![(Key::hash_of("k"), vec![Bytes::from_static(b"v")])],
+            });
+            buf[4] = version;
+            assert_eq!(decode_message(&buf), Err(WireError::UnknownKind(0x08)));
+        }
+    }
+
+    #[test]
+    fn empty_transfer_and_valueless_entry_are_rejected() {
+        // A transfer with zero entries: header + u32(0).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION_REPL);
+        buf.push(0x08);
+        buf.extend_from_slice(&1u64.to_be_bytes());
+        buf.extend_from_slice(&4u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        assert!(matches!(
+            decode_message(&buf),
+            Err(WireError::BadPayload(_))
+        ));
+        // One entry with zero values: count 1, key, u32(0).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION_REPL);
+        buf.push(0x08);
+        buf.extend_from_slice(&1u64.to_be_bytes());
+        buf.extend_from_slice(&28u32.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(Key::hash_of("k").as_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        assert!(matches!(
+            decode_message(&buf),
+            Err(WireError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn golden_replicate_frame_layout_is_pinned() {
+        // Byte-for-byte layout of one replicate frame; changing the v3
+        // codec without bumping the version must fail here.
+        let key = Key::hash_of("k");
+        let msg = Message::Replicate {
+            id: 7,
+            op: DhtOp::Put {
+                key,
+                value: Bytes::from_static(b"v"),
+            },
+        };
+        let buf = encode_to_vec(&msg);
+        let mut expected = Vec::new();
+        expected.extend_from_slice(b"PDHT");
+        expected.push(0x03); // version: replication
+        expected.push(0x07); // kind: replicate
+        expected.extend_from_slice(&7u64.to_be_bytes());
+        expected.extend_from_slice(&26u32.to_be_bytes()); // opcode + key + len + 1
+        expected.push(0x02); // opcode: put
+        expected.extend_from_slice(key.as_bytes());
+        expected.extend_from_slice(&1u32.to_be_bytes());
+        expected.push(b'v');
+        assert_eq!(buf, expected);
     }
 
     #[test]

@@ -18,11 +18,11 @@
 use bytes::Bytes;
 use p2p_index_dht::{DhtError, DhtOp, DhtResponse, Key, NodeId, SplitMix64};
 use p2p_index_net::wire::{decode_message, encode_to_vec, HEADER_LEN, MAX_PAYLOAD};
-use p2p_index_net::{Message, WireError, VERSION, VERSION_BATCH};
+use p2p_index_net::{Message, WireError, VERSION, VERSION_BATCH, VERSION_REPL};
 use proptest::prelude::*;
 
 /// Number of distinct shapes `rng_message` cycles through.
-const VARIANTS: usize = 15;
+const VARIANTS: usize = 17;
 
 fn rng_key(rng: &mut SplitMix64) -> Key {
     let mut digest = [0u8; 20];
@@ -140,6 +140,22 @@ fn rng_message(rng: &mut SplitMix64, variant: usize) -> Message {
                 .map(|i| rng_result(rng, variant + i))
                 .collect(),
         },
+        14 => Message::Replicate {
+            id,
+            op: rng_op(rng, variant),
+        },
+        15 => Message::Transfer {
+            id,
+            entries: (0..1 + (rng.next_u64() % 3) as usize)
+                .map(|_| {
+                    let key = rng_key(rng);
+                    let values = (0..1 + (rng.next_u64() % 3) as usize)
+                        .map(|_| rng_value(rng))
+                        .collect();
+                    (key, values)
+                })
+                .collect(),
+        },
         _ => Message::Shutdown,
     }
 }
@@ -219,7 +235,7 @@ fn oversized_length_prefix_is_rejected_before_allocation() {
 fn every_foreign_version_is_rejected() {
     let good = encode_to_vec(&Message::Shutdown);
     for version in 0..=u8::MAX {
-        if version == VERSION || version == VERSION_BATCH {
+        if version == VERSION || version == VERSION_BATCH || version == VERSION_REPL {
             continue;
         }
         let mut frame = good.clone();
@@ -298,6 +314,70 @@ fn oversized_batch_count_is_rejected_before_allocation() {
             decode_message(&frame),
             Err(WireError::Truncated),
             "kind 0x{kind:02x}"
+        );
+    }
+}
+
+#[test]
+fn empty_transfers_are_rejected() {
+    // Like empty batches: a transfer carrying nothing, or an entry
+    // carrying no values, is a protocol violation — not a no-op.
+    let frame = raw_frame(VERSION_REPL, 0x08, 7, &0u32.to_be_bytes());
+    assert!(matches!(
+        decode_message(&frame),
+        Err(WireError::BadPayload(_))
+    ));
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&1u32.to_be_bytes());
+    payload.extend_from_slice(Key::hash_of("k").as_bytes());
+    payload.extend_from_slice(&0u32.to_be_bytes());
+    let frame = raw_frame(VERSION_REPL, 0x08, 7, &payload);
+    assert!(matches!(
+        decode_message(&frame),
+        Err(WireError::BadPayload(_))
+    ));
+}
+
+#[test]
+fn oversized_transfer_counts_are_rejected_before_allocation() {
+    // Entry and value counts claiming more than the payload can hold must
+    // fail on arithmetic alone, like oversized batch counts.
+    let frame = raw_frame(VERSION_REPL, 0x08, 7, &u32::MAX.to_be_bytes());
+    assert_eq!(decode_message(&frame), Err(WireError::Truncated));
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&1u32.to_be_bytes());
+    payload.extend_from_slice(Key::hash_of("k").as_bytes());
+    payload.extend_from_slice(&u32::MAX.to_be_bytes());
+    let frame = raw_frame(VERSION_REPL, 0x08, 7, &payload);
+    assert_eq!(decode_message(&frame), Err(WireError::Truncated));
+}
+
+#[test]
+fn transfer_cut_at_every_byte_is_truncated() {
+    // Same invariant as batches: a transfer whose entries outrun its
+    // payload is Truncated at every cut point, never a phantom shorter
+    // transfer.
+    let mut rng = SplitMix64::new(23);
+    let msg = Message::Transfer {
+        id: 9,
+        entries: vec![
+            (rng_key(&mut rng), vec![rng_value(&mut rng)]),
+            (
+                rng_key(&mut rng),
+                vec![rng_value(&mut rng), rng_value(&mut rng)],
+            ),
+        ],
+    };
+    let buf = encode_to_vec(&msg);
+    for cut in HEADER_LEN..buf.len() {
+        let mut frame = buf[..cut].to_vec();
+        let len = (cut - HEADER_LEN) as u32;
+        frame[14..18].copy_from_slice(&len.to_be_bytes());
+        assert_eq!(
+            decode_message(&frame),
+            Err(WireError::Truncated),
+            "payload cut to {} bytes",
+            cut - HEADER_LEN
         );
     }
 }

@@ -129,8 +129,9 @@ fn usage() -> String {
     "usage: repro <fig7|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|storage|ext-structures|ext-churn|robustness|bench|all> \
      [--small] [--nodes N] [--articles N] [--queries N] [--seed N] [--csv DIR] [--jobs N] [--metrics FILE] [--profile] [--allow-regression]\n\
      \x20      repro trace <query> [--small] [--nodes N] [--articles N] [--seed N]\n\
-     \x20      repro serve [--substrate ring|chord|kademlia|pastry] [--port N] [--node-name NAME] [--loss F] [--fault-seed N]\n\
-     \x20      repro net-demo --members HOST:PORT,... [--articles N] [--queries N] [--seed N] [--shutdown]"
+     \x20      repro serve [--substrate ring|chord|kademlia|pastry] [--port N] [--node-name NAME] [--loss F] [--fault-seed N] \
+     [--replicas R] [--quorum W,RQ] [--peers NAME=HOST:PORT,...] [--repair-ms N]\n\
+     \x20      repro net-demo --members HOST:PORT,... [--articles N] [--queries N] [--seed N] [--replicas R] [--quorum W,RQ] [--shutdown]"
         .to_string()
 }
 
@@ -158,10 +159,50 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             "--fault-seed" => {
                 opts.fault_seed = parse_num(args.next(), "--fault-seed")? as u64;
             }
+            "--replicas" => {
+                opts.replicas = parse_num(args.next(), "--replicas")?;
+            }
+            "--quorum" => {
+                let (w, _rq) = parse_quorum(args.next())?;
+                opts.write_quorum = w;
+            }
+            "--peers" => {
+                for part in args.next().ok_or("--peers needs a list")?.split(',') {
+                    let (name, addr) = part
+                        .trim()
+                        .split_once('=')
+                        .ok_or_else(|| format!("--peers {part:?}: expected NAME=HOST:PORT"))?;
+                    opts.peers.push((
+                        name.to_string(),
+                        addr.parse().map_err(|e| format!("--peers {part:?}: {e}"))?,
+                    ));
+                }
+            }
+            "--repair-ms" => {
+                opts.repair_ms = parse_num(args.next(), "--repair-ms")? as u64;
+            }
             other => return Err(format!("unknown serve flag {other}\n{}", usage())),
         }
     }
     netd::serve(&opts)
+}
+
+/// Parses a `--quorum W,RQ` value into `(write_quorum, read_quorum)`.
+/// A single number sets both.
+fn parse_quorum(value: Option<String>) -> Result<(usize, usize), String> {
+    let value = value.ok_or("--quorum needs a value (W,RQ)")?;
+    let parse_one = |s: &str| {
+        s.trim()
+            .parse::<usize>()
+            .map_err(|e| format!("--quorum {s:?}: {e}"))
+    };
+    match value.split_once(',') {
+        Some((w, rq)) => Ok((parse_one(w)?, parse_one(rq)?)),
+        None => {
+            let both = parse_one(&value)?;
+            Ok((both, both))
+        }
+    }
 }
 
 /// Parses `repro net-demo` flags and drives a workload over the cluster.
@@ -170,6 +211,8 @@ fn run_net_demo(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut articles = 60usize;
     let mut queries = 40usize;
     let mut seed = 42u64;
+    let mut replicas = 1usize;
+    let mut read_quorum = 1usize;
     let mut shutdown = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -185,6 +228,11 @@ fn run_net_demo(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             "--articles" => articles = parse_num(args.next(), "--articles")?,
             "--queries" => queries = parse_num(args.next(), "--queries")?,
             "--seed" => seed = parse_num(args.next(), "--seed")? as u64,
+            "--replicas" => replicas = parse_num(args.next(), "--replicas")?,
+            "--quorum" => {
+                let (_w, rq) = parse_quorum(args.next())?;
+                read_quorum = rq;
+            }
             "--shutdown" => shutdown = true,
             other => return Err(format!("unknown net-demo flag {other}\n{}", usage())),
         }
@@ -192,7 +240,15 @@ fn run_net_demo(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     if members.is_empty() {
         return Err("net-demo needs --members HOST:PORT,...".to_string());
     }
-    netd::net_demo(&members, articles, queries, seed, shutdown)
+    netd::net_demo(
+        &members,
+        articles,
+        queries,
+        seed,
+        replicas,
+        read_quorum,
+        shutdown,
+    )
 }
 
 /// Writes the per-cell observability snapshots as one deterministic JSON

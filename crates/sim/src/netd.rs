@@ -17,14 +17,16 @@
 //!   `BENCH_results.json`.
 
 use std::net::SocketAddr;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use p2p_index_core::{CachePolicy, IndexService, RetryPolicy, SimpleScheme};
 use p2p_index_dht::{
     ChordNetwork, Dht, DhtOp, FaultConfig, FaultyDht, KademliaNetwork, Key, NodeId, PastryNetwork,
     RingDht,
 };
-use p2p_index_net::{DhtServer, LoopbackCluster, RemoteDht, RemoteDhtConfig, ServerConfig};
+use p2p_index_net::{
+    DhtServer, LoopbackCluster, RemoteDht, RemoteDhtConfig, ReplicationConfig, ServerConfig,
+};
 use p2p_index_obs::MetricsRegistry;
 use p2p_index_workload::{Corpus, CorpusConfig, QueryGenerator, StructureMix};
 
@@ -44,6 +46,18 @@ pub struct ServeOptions {
     pub loss: f64,
     /// Seed for the fault injector, when `loss > 0`.
     pub fault_seed: u64,
+    /// Replication factor R; together with a non-empty `peers` list this
+    /// makes the daemon a member of a replicated cluster. `1` (the
+    /// default) serves a plain unreplicated partition.
+    pub replicas: usize,
+    /// Write quorum W (local apply counts as one ack).
+    pub write_quorum: usize,
+    /// Full cluster membership as `(node name, address)` pairs, self
+    /// included — every daemon gets the same list, which is what keeps
+    /// client routing, fan-out, and repair on one shared placement ring.
+    pub peers: Vec<(String, SocketAddr)>,
+    /// Anti-entropy repair interval in milliseconds (0 disables).
+    pub repair_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -54,6 +68,10 @@ impl Default for ServeOptions {
             node_name: "node-0".to_string(),
             loss: 0.0,
             fault_seed: 0,
+            replicas: 1,
+            write_quorum: 1,
+            peers: Vec::new(),
+            repair_ms: 200,
         }
     }
 }
@@ -97,7 +115,32 @@ fn build_partition(opts: &ServeOptions) -> Result<Box<dyn Dht + Send>, String> {
 pub fn serve(opts: &ServeOptions) -> Result<(), String> {
     use std::io::Write;
     let dht = build_partition(opts)?;
-    let server = DhtServer::spawn(dht, ("127.0.0.1", opts.port), ServerConfig::default())
+    let replication = if opts.replicas > 1 {
+        if opts.peers.is_empty() {
+            return Err("--replicas > 1 needs --peers NAME=HOST:PORT,...".to_string());
+        }
+        let members: Vec<(Key, SocketAddr)> = opts
+            .peers
+            .iter()
+            .map(|(name, addr)| (Key::hash_of(name), *addr))
+            .collect();
+        let mut config = ReplicationConfig::new(
+            Key::hash_of(&opts.node_name),
+            members,
+            opts.replicas,
+            opts.write_quorum,
+        );
+        config.repair_interval =
+            (opts.repair_ms > 0).then(|| Duration::from_millis(opts.repair_ms));
+        Some(config)
+    } else {
+        None
+    };
+    let config = ServerConfig {
+        replication,
+        ..ServerConfig::default()
+    };
+    let server = DhtServer::spawn(dht, ("127.0.0.1", opts.port), config)
         .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
     let addr = server.local_addr();
     // The harness parses this exact line to learn the ephemeral port, so
@@ -105,11 +148,13 @@ pub fn serve(opts: &ServeOptions) -> Result<(), String> {
     println!("DHTD LISTENING {addr}");
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     eprintln!(
-        "# dhtd: {} partition for {} ({}), loss {}",
+        "# dhtd: {} partition for {} ({}), loss {}, replicas {} (W={})",
         opts.substrate,
         opts.node_name,
         NodeId::hash_of(&opts.node_name),
-        opts.loss
+        opts.loss,
+        opts.replicas,
+        opts.write_quorum
     );
     server.wait();
     eprintln!("# dhtd: shutdown");
@@ -180,33 +225,111 @@ pub fn run_workload<D: Dht>(
     Ok(outcome)
 }
 
+/// Result-quality summary of a [`run_workload_with_churn`] run: what the
+/// user saw, with the degraded-answer accounting
+/// ([`abandoned`](ChurnOutcome::abandoned)) broken out. Message counts
+/// are deliberately absent — a churned remote cluster pays failover
+/// traffic an in-process twin does not, so equality claims under churn
+/// are about *answers*, not wire cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnOutcome {
+    /// Total files located across all queries.
+    pub files_found: u64,
+    /// Total user-system interactions across all queries.
+    pub interactions: u64,
+    /// Searches that returned no files.
+    pub misses: u64,
+    /// Index branches abandoned after the retry budget ran out, summed
+    /// over every search's `SearchReport::completeness` — the degraded
+    /// reporting a replicated cluster must keep at zero when one member
+    /// dies.
+    pub abandoned: u64,
+}
+
+/// [`run_workload`] with a mid-workload membership change: publishes the
+/// corpus, runs the query workload, and invokes `kill` on the service
+/// right before query `kill_at` fires. The closure gets the service so
+/// in-process twins can reach the substrate
+/// (`service.dht_mut().kill(..)`); multi-process harnesses ignore the
+/// argument and SIGKILL a child instead.
+///
+/// Any search returning `Err` aborts the run — "zero failed searches
+/// under churn" is exactly `Ok(outcome)` from this function.
+pub fn run_workload_with_churn<D: Dht>(
+    dht: D,
+    articles: usize,
+    queries: usize,
+    seed: u64,
+    kill_at: usize,
+    mut kill: impl FnMut(&mut IndexService<D>),
+) -> Result<ChurnOutcome, String> {
+    let corpus = Corpus::generate(CorpusConfig {
+        articles,
+        author_pool: (articles / 3).max(8),
+        seed,
+        ..CorpusConfig::default()
+    });
+    let mut service =
+        IndexService::with_retry(dht, CachePolicy::Multi, RetryPolicy::with_budget(seed, 4));
+    for article in corpus.articles() {
+        service
+            .publish(&article.descriptor(), article.file_name(), &SimpleScheme)
+            .map_err(|e| format!("publish failed: {e}"))?;
+    }
+    let mut generator = QueryGenerator::new(&corpus, StructureMix::paper_simulation(), seed);
+    let mut outcome = ChurnOutcome {
+        files_found: 0,
+        interactions: 0,
+        misses: 0,
+        abandoned: 0,
+    };
+    for (i, item) in generator.take_queries(queries).into_iter().enumerate() {
+        if i == kill_at {
+            kill(&mut service);
+        }
+        let report = service
+            .search(&item.query)
+            .map_err(|e| format!("search {} failed: {e}", item.query))?;
+        outcome.files_found += report.files.len() as u64;
+        outcome.interactions += u64::from(report.interactions);
+        outcome.abandoned += u64::from(report.completeness.abandoned);
+        if report.files.is_empty() {
+            outcome.misses += 1;
+        }
+    }
+    Ok(outcome)
+}
+
 /// The `repro net-demo` client: run [`run_workload`] over a live cluster.
 ///
 /// `members` are `host:port` addresses in node order (the `i`-th serves
-/// `node-i`). With `shutdown` set, every member is sent a wire shutdown
-/// frame after the run — handy for tearing down a quickstart cluster.
+/// `node-i`). `replicas`/`read_quorum` must match the cluster's serve
+/// flags (`1`/`1` for an unreplicated cluster). With `shutdown` set,
+/// every member is sent a wire shutdown frame after the run — handy for
+/// tearing down a quickstart cluster.
 pub fn net_demo(
     members: &[SocketAddr],
     articles: usize,
     queries: usize,
     seed: u64,
+    replicas: usize,
+    read_quorum: usize,
     shutdown: bool,
 ) -> Result<(), String> {
-    let client = RemoteDht::connect(
-        RemoteDht::named_members(members),
-        RemoteDhtConfig::default(),
-    );
+    let client_config = RemoteDhtConfig {
+        replicas,
+        read_quorum,
+        ..RemoteDhtConfig::default()
+    };
+    let client = RemoteDht::connect(RemoteDht::named_members(members), client_config.clone());
     eprintln!(
-        "# net-demo: {} member(s), {articles} articles, {queries} queries, seed {seed}",
+        "# net-demo: {} member(s), {articles} articles, {queries} queries, seed {seed}, \
+         replicas {replicas} (Rq={read_quorum})",
         members.len()
     );
     // Keep a second client for teardown: run_workload consumes the first.
-    let closer = shutdown.then(|| {
-        RemoteDht::connect(
-            RemoteDht::named_members(members),
-            RemoteDhtConfig::default(),
-        )
-    });
+    let closer = shutdown
+        .then(|| RemoteDht::connect(RemoteDht::named_members(members), client_config.clone()));
     let outcome = run_workload(client, articles, queries, seed)?;
     println!(
         "queries {queries}: {} file(s) found, {} misses, {} interactions, \
@@ -245,16 +368,20 @@ struct NetBenchCell {
     p99_us: u64,
 }
 
-/// Runs one `(op, threads)` cell against `cluster` and returns the
-/// aggregate throughput plus latency percentiles.
-fn net_bench_cell(cluster: &LoopbackCluster, op: &'static str, threads: usize) -> NetBenchCell {
+/// Runs one `(op, threads)` cell with clients from `make_client` and
+/// returns the aggregate throughput plus latency percentiles.
+fn net_bench_cell(
+    make_client: &(dyn Fn() -> RemoteDht + Sync),
+    op: &'static str,
+    threads: usize,
+) -> NetBenchCell {
     const OPS_PER_THREAD: usize = 300;
     let started = Instant::now();
     let mut latencies: Vec<u64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 scope.spawn(move || {
-                    let mut client = cluster.client();
+                    let mut client = make_client();
                     let mut lats = Vec::with_capacity(OPS_PER_THREAD);
                     for i in 0..OPS_PER_THREAD {
                         let key = Key::hash_of(&format!("bench-{t}-{i}"));
@@ -345,17 +472,19 @@ fn fanout_cell(cluster: &LoopbackCluster, k: usize, batched: bool) -> FanoutCell
 
 /// The loopback RPC micro-benchmark: get and put at 1 and 8 client
 /// threads against a single-node loopback server, plus a k-child
-/// fan-out exhibit (unary vs batched multi-get) under the `batch` key.
-/// Each throughput cell is sampled 3 times and the median by throughput
-/// is reported. Returns the `net` JSON object for `BENCH_results.json`
-/// (and prints a summary line per cell on stderr).
+/// fan-out exhibit (unary vs batched multi-get) under the `batch` key
+/// and a replicated-cluster exhibit (quorum reads and fan-out writes)
+/// under the `quorum` key. Each throughput cell is sampled 3 times and
+/// the median by throughput is reported. Returns the `net` JSON object
+/// for `BENCH_results.json` (and prints a summary line per cell on
+/// stderr).
 pub fn net_bench() -> String {
     let cluster = LoopbackCluster::start_ring(1).expect("loopback bench cluster binds");
     let mut cells = Vec::new();
     for op in ["get", "put"] {
         for threads in [1usize, 8] {
             let mut samples: Vec<NetBenchCell> = (0..3)
-                .map(|_| net_bench_cell(&cluster, op, threads))
+                .map(|_| net_bench_cell(&|| cluster.client(), op, threads))
                 .collect();
             samples.sort_by(|a, b| {
                 a.ops_per_sec
@@ -371,6 +500,35 @@ pub fn net_bench() -> String {
         }
     }
     cluster.shutdown();
+
+    // Quorum exhibit: the price of durability. A replicated 4-member
+    // cluster (R=3, W=2, Rq=2): every put fans out server-side to two
+    // more replicas, every get reads two replicas in parallel.
+    const QUORUM_MEMBERS: usize = 4;
+    const QUORUM_R: usize = 3;
+    const QUORUM_W: usize = 2;
+    const QUORUM_RQ: usize = 2;
+    let q_cluster = LoopbackCluster::start_replicated_ring(QUORUM_MEMBERS, QUORUM_R, QUORUM_W)
+        .expect("replicated bench cluster binds");
+    let mut quorum_cells = Vec::new();
+    for op in ["get", "put"] {
+        let mut samples: Vec<NetBenchCell> = (0..3)
+            .map(|_| net_bench_cell(&|| q_cluster.replicated_client(QUORUM_R, QUORUM_RQ), op, 1))
+            .collect();
+        samples.sort_by(|a, b| {
+            a.ops_per_sec
+                .partial_cmp(&b.ops_per_sec)
+                .expect("throughput is finite")
+        });
+        let median = samples.remove(1);
+        eprintln!(
+            "# net quorum {op} (R={QUORUM_R} W={QUORUM_W} Rq={QUORUM_RQ}): \
+             {:.0} ops/s, p50 {} us, p99 {} us (median of 3)",
+            median.ops_per_sec, median.p50_us, median.p99_us
+        );
+        quorum_cells.push(median);
+    }
+    q_cluster.shutdown();
 
     // Fan-out exhibit: the k-child multi-get a search issues after
     // resolving an index node, unary vs batched, over a multi-member
@@ -405,10 +563,23 @@ pub fn net_bench() -> String {
             c.frames_per_fanout, c.p50_us, c.p99_us
         )
     };
+    let quorum_body = quorum_cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{{ \"op\": \"{}\", \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {} }}",
+                c.op, c.ops_per_sec, c.p50_us, c.p99_us
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "{{ \"transport\": \"tcp-loopback\", \"samples\": 3, \"statistic\": \"median\", \
          \"cells\": [\n    {body}\n  ],\n  \"batch\": {{ \"k\": {FANOUT_K}, \
-         \"members\": {FANOUT_MEMBERS}, \"unary\": {}, \"batched\": {} }} }}",
+         \"members\": {FANOUT_MEMBERS}, \"unary\": {}, \"batched\": {} }},\n  \
+         \"quorum\": {{ \"members\": {QUORUM_MEMBERS}, \"replicas\": {QUORUM_R}, \
+         \"write_quorum\": {QUORUM_W}, \"read_quorum\": {QUORUM_RQ}, \
+         \"cells\": [ {quorum_body} ] }} }}",
         fanout_json(&unary),
         fanout_json(&batch)
     )

@@ -13,14 +13,15 @@
 //! test rather than the CI job.
 
 use std::io::{BufRead, BufReader};
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpListener};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use p2p_index_dht::{Dht, RingDht};
+use p2p_index_dht::placement::replica_keys;
+use p2p_index_dht::{ChordConfig, ChordNetwork, Dht, Key, NodeChurn, NodeId, RingDht};
 use p2p_index_net::{RemoteDht, RemoteDhtConfig};
 use p2p_index_obs::MetricsRegistry;
-use p2p_index_sim::netd::run_workload;
+use p2p_index_sim::netd::{run_workload, run_workload_with_churn};
 
 /// One spawned `repro serve` daemon and the address it bound.
 struct DhtdChild {
@@ -31,8 +32,16 @@ struct DhtdChild {
 /// Spawns `repro serve` with the given extra flags on an ephemeral port
 /// and waits for its `DHTD LISTENING <addr>` banner.
 fn spawn_dhtd(node_name: &str, extra: &[&str]) -> DhtdChild {
+    spawn_dhtd_on(node_name, 0, extra)
+}
+
+/// [`spawn_dhtd`] on a fixed port — replicated clusters hand every
+/// member the full `NAME=HOST:PORT` list up front, so their ports must
+/// be chosen before any daemon starts (and survive a restart).
+fn spawn_dhtd_on(node_name: &str, port: u16, extra: &[&str]) -> DhtdChild {
+    let port = port.to_string();
     let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
-        .args(["serve", "--substrate", "ring", "--port", "0"])
+        .args(["serve", "--substrate", "ring", "--port", &port])
         .args(["--node-name", node_name])
         .args(extra)
         .stdout(Stdio::piped())
@@ -217,6 +226,179 @@ fn lossy_cluster_completes_under_retry() {
         outcome.messages > lossless.messages,
         "injected loss should cost extra message pairs (retries)"
     );
+
+    shutdown_cluster(children, &addrs);
+}
+
+/// Reserves `n` distinct loopback ports by binding ephemeral listeners,
+/// then releasing them. Replicated daemons need the whole membership
+/// list before the first one starts, so their ports cannot come from
+/// the banner; the tiny release-to-rebind race is acceptable on a CI
+/// loopback.
+fn reserve_addrs(n: usize) -> Vec<SocketAddr> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("reserved addr"))
+        .collect()
+}
+
+/// Waits until `addr` can be bound again (a killed daemon's port may
+/// linger briefly in kernel teardown states), then releases it for the
+/// restarting daemon.
+fn wait_until_bindable(addr: SocketAddr) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(probe) => {
+                drop(probe);
+                return;
+            }
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("port {addr} never became bindable: {e}"),
+        }
+    }
+}
+
+/// The churn acceptance test (ROADMAP item 3): a 5-daemon cluster at
+/// replication 3 loses one member to SIGKILL mid-workload and the user
+/// never notices — zero failed searches, zero abandoned branches at
+/// read quorum 2, answers equal to an in-process replicated Chord twin
+/// churned at the same query index. Afterwards the killed daemon
+/// restarts empty on its old port and the survivors' anti-entropy
+/// repair refills it, restoring the replication factor.
+#[test]
+fn sigkilled_daemon_is_masked_by_quorum_and_refilled_after_restart() {
+    const NODES: usize = 5;
+    const REPLICAS: usize = 3;
+    const ARTICLES: usize = 30;
+    const QUERIES: usize = 20;
+    const SEED: u64 = 77;
+    const KILL_AT: usize = QUERIES / 2;
+    const VICTIM: usize = 2;
+
+    let addrs = reserve_addrs(NODES);
+    let peers = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| format!("node-{i}={addr}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let extra = [
+        "--replicas",
+        "3",
+        "--quorum",
+        "2,2",
+        "--peers",
+        &peers,
+        "--repair-ms",
+        "40",
+    ];
+    let mut children: Vec<DhtdChild> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let child = spawn_dhtd_on(&format!("node-{i}"), addr.port(), &extra);
+            assert_eq!(child.addr, *addr, "daemon bound a different port");
+            child
+        })
+        .collect();
+
+    let quorum_config = RemoteDhtConfig {
+        replicas: REPLICAS,
+        read_quorum: 2,
+        ..RemoteDhtConfig::default()
+    };
+    let client = || RemoteDht::connect(RemoteDht::named_members(&addrs), quorum_config.clone());
+
+    // Sentinel keys whose replica set includes the victim: written while
+    // everyone is alive, they prove the victim held copies before the
+    // kill and must hold them again after restart + repair.
+    let mut ring: Vec<Key> = (0..NODES)
+        .map(|i| Key::hash_of(&format!("node-{i}")))
+        .collect();
+    ring.sort();
+    let victim_key = Key::hash_of(&format!("node-{VICTIM}"));
+    let sentinels: Vec<Key> = (0..200u32)
+        .map(|i| Key::hash_of(&format!("sentinel-{i}")))
+        .filter(|key| replica_keys(&ring, key, REPLICAS).contains(&victim_key))
+        .take(4)
+        .collect();
+    assert!(!sentinels.is_empty(), "no sentinel landed on the victim");
+    let mut writer = client();
+    for key in &sentinels {
+        assert!(writer.put(*key, bytes::Bytes::from_static(b"sentinel")));
+    }
+    let solo_victim = |addr: SocketAddr| {
+        RemoteDht::connect(
+            vec![(NodeId::hash_of(&format!("node-{VICTIM}")), addr)],
+            RemoteDhtConfig::default(),
+        )
+    };
+    let holds_all_sentinels = |probe: &mut RemoteDht| {
+        sentinels.iter().all(|key| {
+            probe
+                .get(key)
+                .iter()
+                .any(|v| v.as_ref() == b"sentinel".as_slice())
+        })
+    };
+    let mut probe = solo_victim(addrs[VICTIM]);
+    let replicated = Instant::now() + Duration::from_secs(10);
+    while !holds_all_sentinels(&mut probe) {
+        assert!(
+            Instant::now() < replicated,
+            "victim never received its sentinel replicas"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The workload, with the victim SIGKILLed right before query 10.
+    // Zero failed searches is `Ok`; the churned in-process twin (same
+    // placement rule, replication 3, killed + repaired at the same
+    // index) pins the degraded-reporting story: nothing degrades.
+    let victim_child = &mut children[VICTIM].child;
+    let remote = run_workload_with_churn(client(), ARTICLES, QUERIES, SEED, KILL_AT, |_service| {
+        victim_child.kill().expect("SIGKILL victim daemon");
+        victim_child.wait().expect("reap victim daemon");
+    })
+    .expect("a quorum-2 workload must survive one killed member");
+    let twin_dht = ChordNetwork::with_perfect_tables_and_config(
+        (0..NODES).map(|i| Key::hash_of(&format!("node-{i}"))),
+        ChordConfig {
+            replication: REPLICAS,
+            ..ChordConfig::default()
+        },
+    );
+    let local = run_workload_with_churn(twin_dht, ARTICLES, QUERIES, SEED, KILL_AT, |service| {
+        let dht = service.dht_mut();
+        assert!(dht.kill(NodeId::hash_of(&format!("node-{VICTIM}"))));
+        dht.stabilize();
+    })
+    .expect("in-process replicated twin");
+    assert_eq!(remote, local, "churned cluster diverged from its twin");
+    assert!(remote.files_found > 0, "workload found nothing — vacuous");
+    assert_eq!(remote.abandoned, 0, "replication must mask the crash");
+
+    // Restart the victim empty on its old port; the survivors' repair
+    // pass must push its replica copies back.
+    wait_until_bindable(addrs[VICTIM]);
+    let restarted = spawn_dhtd_on(&format!("node-{VICTIM}"), addrs[VICTIM].port(), &extra);
+    assert_eq!(restarted.addr, addrs[VICTIM], "victim moved ports");
+    children[VICTIM] = restarted;
+    let mut probe = solo_victim(addrs[VICTIM]);
+    let repaired = Instant::now() + Duration::from_secs(20);
+    while !holds_all_sentinels(&mut probe) {
+        assert!(
+            Instant::now() < repaired,
+            "repair never restored the victim's replicas"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
 
     shutdown_cluster(children, &addrs);
 }
