@@ -88,6 +88,11 @@ pub struct ShortcutCache {
     slots: HashMap<Key, Slot>,
     capacity: Option<usize>,
     clock: u64,
+    /// Admission gate: a key must be offered this many times before a
+    /// slot is created for it (`0` admits immediately).
+    admission_threshold: u32,
+    /// Offers seen per not-yet-admitted key.
+    sightings: HashMap<Key, u32>,
     metrics: MetricsRegistry,
 }
 
@@ -125,6 +130,24 @@ impl ShortcutCache {
         self
     }
 
+    /// Sets the admission threshold: a key must be offered to
+    /// [`insert`](Self::insert) this many times before a slot is created
+    /// for it. `0` (the default) admits on first offer — the paper's
+    /// behavior. Under skewed load this keeps one-off queries from
+    /// churning LRU caches while flash-crowd keys clear the bar within a
+    /// few repeats. Keys already cached are unaffected.
+    pub fn set_admission_threshold(&mut self, threshold: u32) {
+        self.admission_threshold = threshold;
+        if threshold == 0 {
+            self.sightings.clear();
+        }
+    }
+
+    /// The configured admission threshold.
+    pub fn admission_threshold(&self) -> u32 {
+        self.admission_threshold
+    }
+
     /// Inserts a shortcut `h(query) → target`, *replacing* any previous
     /// shortcut under the same key.
     ///
@@ -134,7 +157,9 @@ impl ShortcutCache {
     /// confirmed target and responses stay small. Returns `true` if the
     /// cache changed (new key, or a different target than before).
     /// Inserting into a full LRU cache evicts the least-recently-used key
-    /// first; a capacity of 0 stores nothing.
+    /// first; a capacity of 0 stores nothing. When an admission threshold
+    /// is set ([`set_admission_threshold`](Self::set_admission_threshold)),
+    /// a new key is rejected until it has been offered that many times.
     pub fn insert(&mut self, key: Key, target: IndexTarget) -> bool {
         if self.capacity == Some(0) {
             return false;
@@ -152,6 +177,16 @@ impl ShortcutCache {
             slot.targets.push(target);
             self.metrics.incr("cache.insert.replaced");
             return true;
+        }
+        if self.admission_threshold > 0 {
+            let seen = self.sightings.entry(key).or_insert(0);
+            *seen += 1;
+            if *seen < self.admission_threshold {
+                self.metrics.incr("cache.admission.rejected");
+                return false;
+            }
+            self.sightings.remove(&key);
+            self.metrics.incr("cache.admission.admitted");
         }
         if let Some(cap) = self.capacity {
             while self.slots.len() >= cap {
@@ -347,6 +382,43 @@ mod tests {
         assert_eq!(CachePolicy::Lru(30).to_string(), "lru-30");
         assert_eq!(CachePolicy::None.to_string(), "no-cache");
         assert_eq!(CachePolicy::default(), CachePolicy::None);
+    }
+
+    #[test]
+    fn admission_threshold_gates_new_keys() {
+        let mut c = ShortcutCache::new();
+        c.set_admission_threshold(3);
+        assert_eq!(c.admission_threshold(), 3);
+        assert!(!c.insert(q("/a"), file("f")), "offer 1 rejected");
+        assert!(!c.insert(q("/a"), file("f")), "offer 2 rejected");
+        assert!(c.insert(q("/a"), file("f")), "offer 3 admitted");
+        assert_eq!(c.get(&q("/a")).unwrap(), &[file("f")]);
+        // Once admitted, the slot behaves normally (replace-on-write).
+        assert!(c.insert(q("/a"), file("g")));
+        assert_eq!(c.get(&q("/a")).unwrap(), &[file("g")]);
+    }
+
+    #[test]
+    fn admission_protects_lru_from_one_off_keys() {
+        let mut c = ShortcutCache::with_capacity(1);
+        c.set_admission_threshold(2);
+        c.insert(q("/hot"), file("f"));
+        c.insert(q("/hot"), file("f"));
+        assert!(c.peek(&q("/hot")).is_some(), "repeated key admitted");
+        // A parade of one-off keys never gets in, so the hot key stays.
+        for i in 0..50 {
+            assert!(!c.insert(q(&format!("/one-off/{i}")), file("f")));
+        }
+        assert!(c.peek(&q("/hot")).is_some());
+    }
+
+    #[test]
+    fn zero_threshold_restores_immediate_admission() {
+        let mut c = ShortcutCache::new();
+        c.set_admission_threshold(5);
+        assert!(!c.insert(q("/a"), file("f")));
+        c.set_admission_threshold(0);
+        assert!(c.insert(q("/a"), file("f")), "gate removed");
     }
 
     #[test]

@@ -260,6 +260,14 @@ pub struct IndexService<D> {
     /// queue/visited sets and the generalization frontier survive across
     /// searches instead of being reallocated per query.
     search_scratch: SearchScratch,
+    /// Reusable wire-encode buffer for the write paths: every entry of a
+    /// publish wave is encoded into this one buffer instead of through a
+    /// per-entry `format!` temporary (publish was the allocation-heaviest
+    /// phase under `repro bench --profile`).
+    encode_scratch: Vec<u8>,
+    /// Shortcut-cache admission threshold applied to every node cache
+    /// (see [`set_cache_admission`](Self::set_cache_admission)).
+    cache_admission: u32,
     /// Observability sink (disabled by default; see [`set_metrics`](Self::set_metrics)).
     metrics: MetricsRegistry,
     /// Active lookup trace, if [`start_trace`](Self::start_trace) is pending.
@@ -288,9 +296,32 @@ impl<D: Dht> IndexService<D> {
             key_cache: HashMap::new(),
             decode_cache: HashMap::new(),
             search_scratch: SearchScratch::default(),
+            encode_scratch: Vec::new(),
+            cache_admission: 0,
             metrics: MetricsRegistry::default(),
             tracer: None,
         }
+    }
+
+    /// Sets the shortcut-cache admission threshold: a key must be seen
+    /// this many times before a cache slot is created for it (`0`, the
+    /// default, admits on first sight — the paper's behavior). Applies to
+    /// every existing and future node cache. Load-driven tuning for
+    /// hot-spot scenarios: flash-crowd keys clear the bar immediately,
+    /// one-off queries stop churning the cache.
+    pub fn set_cache_admission(&mut self, threshold: u32) {
+        self.cache_admission = threshold;
+        for cache in self.caches.values_mut() {
+            cache.set_admission_threshold(threshold);
+        }
+    }
+
+    /// Encodes `target` via the reusable scratch buffer (one buffer per
+    /// service instead of a `format!` temporary per entry).
+    fn encode_target(&mut self, target: &IndexTarget) -> Bytes {
+        self.encode_scratch.clear();
+        target.encode_into(&mut self.encode_scratch);
+        Bytes::copy_from_slice(&self.encode_scratch)
     }
 
     /// Attaches a metrics registry to the whole stack: the service itself
@@ -636,15 +667,17 @@ impl<D: Dht> IndexService<D> {
         }
         let mut ops = Vec::with_capacity(1 + edges.len());
         let msd_key = self.cached_key(&msd);
+        let file_value = self.encode_target(&IndexTarget::File(file.into()));
         ops.push(DhtOp::Put {
             key: msd_key,
-            value: IndexTarget::File(file.into()).to_bytes(),
+            value: file_value,
         });
         for (from, to) in edges {
             let from_key = self.cached_key(&from);
+            let value = self.encode_target(&IndexTarget::Query(to));
             ops.push(DhtOp::Put {
                 key: from_key,
-                value: IndexTarget::Query(to).to_bytes(),
+                value,
             });
         }
         for result in self.dht_execute_many(ops) {
@@ -670,9 +703,10 @@ impl<D: Dht> IndexService<D> {
             });
         }
         let from_key = self.cached_key(&from);
+        let value = self.encode_target(&IndexTarget::Query(to));
         self.dht_execute(DhtOp::Put {
             key: from_key,
-            value: IndexTarget::Query(to).to_bytes(),
+            value,
         })?;
         Ok(())
     }
@@ -901,10 +935,12 @@ impl<D: Dht> IndexService<D> {
             let key = self.cached_key(query);
             let policy = self.policy;
             let metrics = &self.metrics;
-            let cache = self
-                .caches
-                .entry(*node)
-                .or_insert_with(|| ShortcutCache::for_policy(policy).with_metrics(metrics.clone()));
+            let admission = self.cache_admission;
+            let cache = self.caches.entry(*node).or_insert_with(|| {
+                let mut cache = ShortcutCache::for_policy(policy).with_metrics(metrics.clone());
+                cache.set_admission_threshold(admission);
+                cache
+            });
             if cache.insert(key, target.clone()) {
                 self.traffic.record_cache_update(
                     (query.canonical_text().len() + target.encoded_len()) as u64,

@@ -25,11 +25,26 @@ pub enum IndexTarget {
 impl IndexTarget {
     /// Wire encoding: `Q:` + canonical query text, or `F:` + file handle.
     pub fn to_bytes(&self) -> Bytes {
-        let text = match self {
-            IndexTarget::Query(q) => format!("Q:{q}"),
-            IndexTarget::File(f) => format!("F:{f}"),
-        };
-        Bytes::from(text)
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Appends the wire encoding to `buf` without intermediate
+    /// allocations: the query branch copies the memoized canonical text.
+    /// The publish wave reuses one scratch buffer across all entries
+    /// through this.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            IndexTarget::Query(q) => {
+                buf.extend_from_slice(b"Q:");
+                buf.extend_from_slice(q.canonical_text().as_bytes());
+            }
+            IndexTarget::File(f) => {
+                buf.extend_from_slice(b"F:");
+                buf.extend_from_slice(f.as_bytes());
+            }
+        }
     }
 
     /// Decodes a wire entry.
@@ -141,6 +156,19 @@ mod tests {
         let q: Query = "/article[conf/INFOCOM][year/1996]".parse().unwrap();
         for t in [IndexTarget::Query(q), IndexTarget::File("y.pdf".into())] {
             assert_eq!(t.encoded_len(), t.to_bytes().len());
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_wire_bytes() {
+        let q: Query = "/article[conf/SIGCOMM]/author/last/Liu".parse().unwrap();
+        let targets = [IndexTarget::Query(q), IndexTarget::File("z.pdf".into())];
+        let mut buf = Vec::new();
+        for t in &targets {
+            buf.clear();
+            buf.extend_from_slice(b"junk-prefix");
+            t.encode_into(&mut buf);
+            assert_eq!(&buf[11..], &t.to_bytes()[..], "appends, never rewrites");
         }
     }
 

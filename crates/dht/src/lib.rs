@@ -54,6 +54,7 @@ pub mod key;
 pub mod pastry;
 pub mod placement;
 pub mod ring;
+pub mod split;
 pub mod storage;
 
 pub use api::{
@@ -65,4 +66,5 @@ pub use kademlia::{KademliaConfig, KademliaNetwork};
 pub use key::{Key, KEY_BITS};
 pub use pastry::{PastryConfig, PastryNetwork};
 pub use ring::RingDht;
+pub use split::{page_key, BalanceConfig, NodeLoad, SplitDht};
 pub use storage::NodeStore;

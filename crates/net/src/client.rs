@@ -74,9 +74,10 @@ pub struct RemoteDhtConfig {
     /// accounting are identical to prior builds.
     pub replicas: usize,
     /// Read quorum Rq: a `Get` contacts Rq replicas in parallel and
-    /// needs that many successful replies; the answer is the
-    /// lowest-ranked replica's non-empty value set, so one stale replica
-    /// cannot mask data the quorum saw.
+    /// needs that many successful replies; the answer is the **union**
+    /// of the replicas' value sets (rank order, first-seen dedup), so a
+    /// stale replica can neither mask data the quorum saw nor hide the
+    /// values only another replica still holds.
     pub read_quorum: usize,
 }
 
@@ -138,17 +139,32 @@ struct Route {
 }
 
 impl Route {
-    /// The settled response once `want` successes are in: the
-    /// lowest-ranked non-empty value set for reads (a stale empty
-    /// replica cannot mask data), otherwise the lowest-ranked reply.
+    /// The settled response once `want` successes are in. Reads merge:
+    /// the answer is the union of every replica's value set, gathered in
+    /// rank order with first-seen dedup, so replicas holding disjoint
+    /// stale subsets still sum to the full entry (each value survives on
+    /// at least one of the Rq replicas whenever Rq + W > R). Other ops
+    /// settle on the lowest-ranked reply.
     fn settle_response(&mut self) -> DhtResponse {
         self.successes.sort_by_key(|(rank, _)| *rank);
-        let first_nonempty = self
+        if self
             .successes
             .iter()
-            .position(|(_, resp)| !matches!(resp, DhtResponse::Values(v) if v.is_empty()));
-        let at = first_nonempty.unwrap_or(0);
-        self.successes[at].1.clone()
+            .any(|(_, resp)| matches!(resp, DhtResponse::Values(_)))
+        {
+            let mut merged: Vec<Bytes> = Vec::new();
+            for (_, resp) in &self.successes {
+                if let DhtResponse::Values(values) = resp {
+                    for v in values {
+                        if !merged.contains(v) {
+                            merged.push(v.clone());
+                        }
+                    }
+                }
+            }
+            return DhtResponse::Values(merged);
+        }
+        self.successes[0].1.clone()
     }
 }
 
@@ -763,6 +779,54 @@ mod tests {
             metrics.counter("net.batch.ops") > 0,
             "the batch wire path must actually be exercised"
         );
+        remote.shutdown_members();
+    }
+
+    #[test]
+    fn quorum_read_merges_disjoint_stale_subsets() {
+        // Three replicas each hold a *different* stale subset of one
+        // key's entry — as after missed replication writes. A quorum
+        // read across all three must return the union: under the old
+        // prefer-lowest-ranked-non-empty rule, the primary's subset
+        // would mask the values only the other replicas still hold.
+        let key = Key::hash_of("partially-replicated-entry");
+        let all: Vec<Bytes> = (0..6).map(|i| Bytes::from(format!("Q:/v/{i}"))).collect();
+        let ids: Vec<Key> = (0..3).map(|i| Key::hash_of(&format!("node-{i}"))).collect();
+        let servers: Vec<DhtServer> = ids
+            .iter()
+            .enumerate()
+            .map(|(rank, id)| {
+                let mut local = RingDht::from_ids([*id]);
+                // Server `rank` holds values {rank, rank+3}: subsets are
+                // disjoint and none is empty.
+                local.put(key, all[rank].clone());
+                local.put(key, all[rank + 3].clone());
+                DhtServer::spawn(Box::new(local), "127.0.0.1:0", ServerConfig::default()).unwrap()
+            })
+            .collect();
+        let members: Vec<(NodeId, SocketAddr)> = ids
+            .iter()
+            .zip(&servers)
+            .map(|(id, s)| (NodeId::from_key(*id), s.local_addr()))
+            .collect();
+        let mut remote = RemoteDht::connect(
+            members,
+            RemoteDhtConfig {
+                replicas: 3,
+                read_quorum: 3,
+                ..RemoteDhtConfig::default()
+            },
+        );
+        let mut got = remote.execute(DhtOp::Get(key)).unwrap().into_values();
+        got.sort();
+        let mut want = all.clone();
+        want.sort();
+        assert_eq!(got, want, "quorum read must union the replica subsets");
+        // The batch path settles through the same merge.
+        let mut batch = remote.execute_many(vec![DhtOp::Get(key)]);
+        let mut got = batch.remove(0).unwrap().into_values();
+        got.sort();
+        assert_eq!(got, want, "batched quorum read must union as well");
         remote.shutdown_members();
     }
 }

@@ -375,6 +375,92 @@ mod tests {
     }
 
     #[test]
+    fn tombstones_block_a_stale_peers_repair_push() {
+        use crate::wire::{read_message, write_message, Message};
+        use std::net::TcpStream;
+        use std::time::Duration;
+
+        let cluster = LoopbackCluster::start_replicated_ring(3, 3, 2).expect("cluster");
+        let mut client = cluster.replicated_client(3, 2);
+        let key = Key::hash_of("deleted-mapping");
+        let value = Bytes::from_static(b"Q:/dead");
+        assert!(client.put(key, value.clone()));
+        assert!(client.remove(&key, &value));
+        assert!(Dht::get(&client, &key).is_empty());
+
+        // A stale peer — restored from an image taken before the delete,
+        // so with no tombstone knowledge — pushes the deleted value as an
+        // add-only repair Transfer to a healthy member.
+        let push = |entries: Vec<(Key, Vec<Bytes>)>| {
+            let mut stream = TcpStream::connect(cluster.members()[0].1).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .unwrap();
+            write_message(&mut stream, &Message::Transfer { id: 9, entries }).unwrap();
+            let (reply, _) = read_message(&mut stream).unwrap();
+            assert!(matches!(reply, Message::Response { .. }));
+        };
+        push(vec![(key, vec![value.clone()])]);
+
+        // The member's tombstone blocks the resurrection...
+        let solo = RemoteDht::connect(vec![cluster.members()[0]], RemoteDhtConfig::default());
+        assert!(
+            Dht::get(&solo, &key).is_empty(),
+            "a deleted mapping must not be resurrected by repair"
+        );
+        // ...while an undeleted value pushed the same way is accepted.
+        let alive = Bytes::from_static(b"Q:/alive");
+        push(vec![(key, vec![alive.clone()])]);
+        assert_eq!(Dht::get(&solo, &key), vec![alive.clone()]);
+
+        // Re-add wins: a fresh Put of the deleted pair clears the marker,
+        // and the member that had tombstoned it stores it again. (Read
+        // that member directly: `alive` lives only there until repair
+        // spreads it, and a quorum of 2 may not include it.)
+        assert!(client.put(key, value.clone()));
+        let mut values = Dht::get(&solo, &key);
+        values.sort();
+        assert_eq!(values, vec![alive, value]);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn repair_scrubs_a_stale_member_still_holding_a_deleted_value() {
+        let cluster = LoopbackCluster::start_replicated_ring(3, 3, 2).expect("cluster");
+        let mut client = cluster.replicated_client(3, 2);
+        let key = Key::hash_of("scrubbed-mapping");
+        let value = Bytes::from_static(b"Q:/stale");
+        assert!(client.put(key, value.clone()));
+        assert!(client.remove(&key, &value));
+
+        // "Restore" member 1 from a backup taken before the delete: its
+        // store holds the deleted value again.
+        let member_key = *cluster.members()[1].0.key();
+        let mut stale = RingDht::from_ids([member_key]);
+        stale.put(key, value.clone());
+        cluster.server(1).replace_substrate(Box::new(stale));
+        let solo = RemoteDht::connect(vec![cluster.members()[1]], RemoteDhtConfig::default());
+        assert_eq!(
+            Dht::get(&solo, &key),
+            vec![value.clone()],
+            "the restored member must actually be stale"
+        );
+
+        // The healthy members' repair pass re-sends the tombstoned remove
+        // to the replica set, scrubbing the stale copy.
+        cluster.repair_all();
+        assert!(
+            Dht::get(&solo, &key).is_empty(),
+            "repair must scrub the stale member's deleted value"
+        );
+        assert!(
+            Dht::get(&client, &key).is_empty(),
+            "quorum reads must never union the resurrected value back in"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
     fn lossy_cluster_surfaces_remote_faults_as_typed_errors() {
         let mut cluster = ClusterDht::start_lossy_ring(3, 42, 1.0).expect("loopback cluster");
         // Loss probability 1.0: every storage op must fail with a *remote*

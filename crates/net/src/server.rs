@@ -33,14 +33,19 @@
 //! [`Transfer`](crate::wire::Message::Transfer) frames apply locally and
 //! are **never re-forwarded**, so replication storms are impossible by
 //! construction. A background anti-entropy thread periodically pushes
-//! every local entry to the other members of its replica set (add-only;
-//! `NodeStore::put` deduplicates, so repair is idempotent), which is what
-//! restores the replication factor after a member is killed and
-//! restarted empty. A wire shutdown first drains the local partition to
-//! the surviving members of each key's replica set (graceful leave),
-//! then stops.
+//! every local entry to the other members of its replica set
+//! (`NodeStore::put` deduplicates, so repair is idempotent), which is
+//! what restores the replication factor after a member is killed and
+//! restarted empty. Deletes leave **tombstones**: a `Remove` marks the
+//! `(key, value)` pair dead, repair withholds tombstoned values from its
+//! pushes, drops them from incoming `Transfer` frames, and re-sends the
+//! remove to the replica set so stale members get scrubbed — a deleted
+//! mapping can no longer be resurrected by a stale replica's add-only
+//! push. A wire shutdown first drains the local partition to the
+//! surviving members of each key's replica set (graceful leave), then
+//! stops.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -239,6 +244,15 @@ struct Shared {
     served: AtomicU64,
     /// `Some` when this server is a member of a replicated cluster.
     replication: Option<Replication>,
+    /// Deletion markers for replicated clusters: `(key, value)` pairs a
+    /// `Remove` has been observed for. Anti-entropy is add-only, so
+    /// without these a stale replica's repair push would resurrect a
+    /// deleted mapping; the markers filter incoming `Transfer` values
+    /// and are propagated as `Replicate`-remove frames by the repair
+    /// pass so stale members get scrubbed too. A later `Put` of the same
+    /// pair clears the marker (re-add wins). Unreplicated servers never
+    /// populate this.
+    tombstones: Mutex<HashMap<Key, HashSet<Bytes>>>,
 }
 
 /// A running DHT node server. Dropping the handle shuts the server down.
@@ -281,6 +295,7 @@ impl DhtServer {
             write_timeout: config.write_timeout,
             served: AtomicU64::new(0),
             replication,
+            tombstones: Mutex::new(HashMap::new()),
         });
         let accept_shared = Arc::clone(&shared);
         let poll = config.accept_poll;
@@ -507,7 +522,13 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             Message::Replicate { id, op } => {
                 // A peer's write fan-out: apply locally, reply, and never
                 // re-forward — only client `Request`/`Batch` frames fan
-                // out, so replication storms cannot happen.
+                // out, so replication storms cannot happen. The tombstone
+                // transition is recorded here too, so replicated removes
+                // (and the repair pass's tombstone scrubs) stick on every
+                // member, not just the one the client happened to reach.
+                if shared.replication.is_some() {
+                    note_write(&shared, &op);
+                }
                 let result = {
                     let mut dht = shared.dht.lock().expect("server substrate poisoned");
                     dht.execute(op)
@@ -522,7 +543,11 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             Message::Transfer { id, entries } => {
                 // Bulk handoff from a leaving peer or a repair pass:
                 // apply every value locally (puts deduplicate, so
-                // re-transfers are no-ops), never re-forward.
+                // re-transfers are no-ops), never re-forward. Values this
+                // member holds a tombstone for are dropped — a stale
+                // peer's add-only repair push must not resurrect a
+                // mapping deleted here.
+                let (entries, dropped) = live_entries(&shared, entries);
                 let values: u64 = entries.iter().map(|(_, vs)| vs.len() as u64).sum();
                 {
                     let mut dht = shared.dht.lock().expect("server substrate poisoned");
@@ -535,6 +560,9 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 shared
                     .metrics
                     .add("net.server.replica.transfer_values", values);
+                shared
+                    .metrics
+                    .add("net.server.replica.tombstone_drops", dropped);
                 let reply = Message::Response {
                     id,
                     result: Ok(DhtResponse::Stored(true)),
@@ -561,6 +589,56 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
+/// Records the tombstone transition of one write: `Remove` marks the
+/// `(key, value)` pair deleted, `Put` of the same pair clears the marker
+/// (re-add wins). Only called on replicated servers.
+fn note_write(shared: &Shared, op: &DhtOp) {
+    let mut tombstones = shared.tombstones.lock().expect("tombstones poisoned");
+    match op {
+        DhtOp::Remove { key, value } => {
+            tombstones.entry(*key).or_default().insert(value.clone());
+        }
+        DhtOp::Put { key, value } => {
+            if let Some(set) = tombstones.get_mut(key) {
+                set.remove(value);
+                if set.is_empty() {
+                    tombstones.remove(key);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// `entries` minus every tombstoned value — what anti-entropy and the
+/// graceful-leave drain are allowed to push. Returns the number of
+/// values withheld alongside the surviving entries.
+fn live_entries(shared: &Shared, entries: Vec<(Key, Vec<Bytes>)>) -> (Vec<(Key, Vec<Bytes>)>, u64) {
+    let tombstones = shared.tombstones.lock().expect("tombstones poisoned");
+    if tombstones.is_empty() {
+        return (entries, 0);
+    }
+    let mut withheld = 0u64;
+    let filtered = entries
+        .into_iter()
+        .filter_map(|(key, values)| {
+            let values: Vec<Bytes> = match tombstones.get(&key) {
+                None => values,
+                Some(dead) => values
+                    .into_iter()
+                    .filter(|v| {
+                        let keep = !dead.contains(v);
+                        withheld += u64::from(!keep);
+                        keep
+                    })
+                    .collect(),
+            };
+            (!values.is_empty()).then_some((key, values))
+        })
+        .collect();
+    (filtered, withheld)
+}
+
 /// Executes one client op; on a replicated server, writes are applied
 /// locally and fanned out to the rest of the key's replica set, and the
 /// write quorum `W` (local apply included) is enforced before replying.
@@ -578,6 +656,7 @@ fn replicated_execute(shared: &Shared, op: DhtOp) -> Result<DhtResponse, DhtErro
         }
     };
     let key = *op.key();
+    note_write(shared, &op);
     let local = {
         let mut dht = shared.dht.lock().expect("server substrate poisoned");
         dht.execute(op.clone())
@@ -637,10 +716,14 @@ fn repair_loop(shared: Arc<Shared>, interval: Duration) {
     }
 }
 
-/// One anti-entropy pass: push every local entry to the other members of
-/// its replica set as `Transfer` frames, one per peer. Add-only and
-/// idempotent (receivers' puts deduplicate), so running it forever is
-/// safe; it is what refills a member that restarted empty.
+/// One anti-entropy pass, in two halves. (1) Push every *live* local
+/// entry (tombstoned values withheld) to the other members of its
+/// replica set as `Transfer` frames, one per peer — idempotent
+/// (receivers' puts deduplicate), so running it forever is safe; it is
+/// what refills a member that restarted empty. (2) Scrub: re-send every
+/// local tombstone as a `Replicate`-remove to the key's replica set, so
+/// a stale member that still holds a deleted mapping drops it and
+/// records the tombstone itself.
 fn repair_pass(shared: &Shared) {
     let Some(repl) = shared.replication.as_ref() else {
         return;
@@ -652,9 +735,7 @@ fn repair_pass(shared: &Shared) {
         let dht = shared.dht.lock().expect("server substrate poisoned");
         dht.entries()
     };
-    if entries.is_empty() {
-        return;
-    }
+    let (entries, _) = live_entries(shared, entries);
     let grouped = group_entries(&entries, |key| repl.replica_set(key), &repl.node_key);
     for (target, batch) in grouped {
         let values: u64 = batch.iter().map(|(_, vs)| vs.len() as u64).sum();
@@ -665,6 +746,32 @@ fn repair_pass(shared: &Shared) {
             shared
                 .metrics
                 .add("net.server.replica.repair_values", values);
+        }
+    }
+    let tombstones: Vec<(Key, Vec<Bytes>)> = {
+        let t = shared.tombstones.lock().expect("tombstones poisoned");
+        t.iter()
+            .map(|(k, dead)| (*k, dead.iter().cloned().collect()))
+            .collect()
+    };
+    for (key, dead) in tombstones {
+        for member in repl.replica_set(&key) {
+            if member == repl.node_key {
+                continue;
+            }
+            for value in &dead {
+                let id = repl.next_id();
+                let msg = Message::Replicate {
+                    id,
+                    op: DhtOp::Remove {
+                        key,
+                        value: value.clone(),
+                    },
+                };
+                if repl.peer_call(&member, &msg).is_ok() {
+                    shared.metrics.incr("net.server.replica.tombstone_scrubs");
+                }
+            }
         }
     }
 }
@@ -690,6 +797,7 @@ fn drain_partition(shared: &Shared) {
         let dht = shared.dht.lock().expect("server substrate poisoned");
         dht.entries()
     };
+    let (entries, _) = live_entries(shared, entries);
     if entries.is_empty() {
         return;
     }

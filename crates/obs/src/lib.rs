@@ -13,6 +13,10 @@
 //!   DHT ops, retries, cache probes), with a deterministic
 //!   pretty-printer behind `repro trace <query>`.
 //!
+//! Plus one derived statistic: [`ImbalanceSummary`], which reduces a
+//! per-node load vector to max/mean, Gini, and top-k numbers for the
+//! hot-spot exhibits.
+//!
 //! Everything here is deterministic by construction: no clocks, no
 //! thread ids, ordered maps only. Equal executions produce byte-equal
 //! snapshots and traces, which is what lets the simulator emit metrics
@@ -23,8 +27,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod load;
 pub mod registry;
 pub mod trace;
 
+pub use load::ImbalanceSummary;
 pub use registry::{Histogram, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS, BUCKET_COUNT};
 pub use trace::{Span, SpanItem, Trace, TraceRecorder};

@@ -1,0 +1,159 @@
+//! Per-node load imbalance summaries.
+//!
+//! The hot-spot exhibit (`repro hotspot`) reduces a per-node load vector
+//! (operations served, bytes stored, …) to a handful of comparable
+//! numbers: max/mean ratio, Gini coefficient, and the top-k heaviest
+//! nodes. Deterministic by construction — pure arithmetic over a sorted
+//! copy of the input — so equal runs summarize byte-equally.
+
+/// Summary statistics of one per-node load distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImbalanceSummary {
+    /// Number of nodes in the distribution (including zero-load nodes).
+    pub nodes: usize,
+    /// Sum of all per-node loads.
+    pub total: u64,
+    /// Mean load per node.
+    pub mean: f64,
+    /// Largest single-node load.
+    pub max: u64,
+    /// `max / mean` — 1.0 is perfectly balanced; the headline imbalance
+    /// number of the hot-spot exhibit.
+    pub max_over_mean: f64,
+    /// Gini coefficient of the distribution in `[0, 1)`: 0 is perfectly
+    /// equal, values near 1 mean a few nodes carry everything.
+    pub gini: f64,
+    /// The `k` heaviest per-node loads, descending.
+    pub top: Vec<u64>,
+}
+
+impl ImbalanceSummary {
+    /// Summarizes `counts` (one entry per node, zeros included),
+    /// retaining the `top_k` heaviest loads.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use p2p_index_obs::ImbalanceSummary;
+    ///
+    /// let even = ImbalanceSummary::from_counts(&[5, 5, 5, 5], 2);
+    /// assert_eq!(even.max_over_mean, 1.0);
+    /// assert_eq!(even.gini, 0.0);
+    ///
+    /// let skewed = ImbalanceSummary::from_counts(&[20, 0, 0, 0], 2);
+    /// assert_eq!(skewed.max_over_mean, 4.0);
+    /// assert!(skewed.gini > 0.7);
+    /// assert_eq!(skewed.top, vec![20, 0]);
+    /// ```
+    pub fn from_counts(counts: &[u64], top_k: usize) -> ImbalanceSummary {
+        let nodes = counts.len();
+        let total: u64 = counts.iter().sum();
+        let mean = if nodes == 0 {
+            0.0
+        } else {
+            total as f64 / nodes as f64
+        };
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let max_over_mean = if mean > 0.0 { max as f64 / mean } else { 0.0 };
+
+        // Gini over the ascending-sorted vector x (1-based i):
+        //   G = 2·Σᵢ i·xᵢ / (n·Σ x) − (n+1)/n
+        let gini = if nodes == 0 || total == 0 {
+            0.0
+        } else {
+            let mut sorted: Vec<u64> = counts.to_vec();
+            sorted.sort_unstable();
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+                .sum();
+            let n = nodes as f64;
+            (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+        };
+
+        let mut descending: Vec<u64> = counts.to_vec();
+        descending.sort_unstable_by(|a, b| b.cmp(a));
+        descending.truncate(top_k);
+
+        ImbalanceSummary {
+            nodes,
+            total,
+            mean,
+            max,
+            max_over_mean,
+            gini,
+            top: descending,
+        }
+    }
+
+    /// Renders the summary as a JSON object fragment (hand-rolled, like
+    /// every other JSON emitter in this workspace).
+    pub fn to_json(&self) -> String {
+        let top: Vec<String> = self.top.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"nodes\": {}, \"total\": {}, \"mean\": {:.3}, \"max\": {}, \"max_over_mean\": {:.3}, \"gini\": {:.4}, \"top\": [{}]}}",
+            self.nodes,
+            self.total,
+            self.mean,
+            self.max,
+            self.max_over_mean,
+            self.gini,
+            top.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_zero_distributions() {
+        let empty = ImbalanceSummary::from_counts(&[], 3);
+        assert_eq!(empty.nodes, 0);
+        assert_eq!(empty.gini, 0.0);
+        assert_eq!(empty.max_over_mean, 0.0);
+
+        let zeros = ImbalanceSummary::from_counts(&[0, 0, 0], 3);
+        assert_eq!(zeros.total, 0);
+        assert_eq!(zeros.gini, 0.0);
+        assert_eq!(zeros.top, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn uniform_distribution_is_balanced() {
+        let s = ImbalanceSummary::from_counts(&[7; 100], 5);
+        assert_eq!(s.max_over_mean, 1.0);
+        assert!(s.gini.abs() < 1e-9);
+        assert_eq!(s.top, vec![7; 5]);
+    }
+
+    #[test]
+    fn concentrated_distribution_is_imbalanced() {
+        let mut counts = vec![0u64; 100];
+        counts[42] = 1000;
+        let s = ImbalanceSummary::from_counts(&counts, 3);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.max_over_mean, 100.0);
+        assert!(s.gini > 0.98, "gini {} for total concentration", s.gini);
+        assert_eq!(s.top, vec![1000, 0, 0]);
+    }
+
+    #[test]
+    fn gini_orders_by_skew() {
+        let mild = ImbalanceSummary::from_counts(&[4, 5, 6, 5], 2);
+        let harsh = ImbalanceSummary::from_counts(&[17, 1, 1, 1], 2);
+        assert!(mild.gini < harsh.gini);
+        assert!(mild.gini >= 0.0 && harsh.gini < 1.0);
+    }
+
+    #[test]
+    fn json_fragment_is_stable() {
+        let s = ImbalanceSummary::from_counts(&[2, 2, 8], 2);
+        let json = s.to_json();
+        assert!(json.contains("\"nodes\": 3"));
+        assert!(json.contains("\"max\": 8"));
+        assert!(json.contains("\"top\": [8, 2]"));
+    }
+}

@@ -9,6 +9,9 @@
 //!             [--node-name NAME] [--loss F] [--fault-seed N]
 //! repro net-demo --members HOST:PORT,... [--articles N] [--queries N]
 //!                [--seed N] [--shutdown]
+//! repro hotspot [--small] [--csv DIR] [--nodes N] [--articles N]
+//!               [--queries N] [--seed N] [--hot-rank N] [--boost F]
+//!               [--budget N] [--threshold N] [--fanout N]
 //!
 //! exhibits: fig7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table1 storage
 //!           ext-structures ext-churn robustness bench trace all
@@ -49,6 +52,15 @@
 //! shutdown frame. `net-demo` is the matching client: it points the full
 //! indexing stack at a running cluster over TCP. See the README's
 //! networking quickstart for a 5-node loopback ring.
+//!
+//! `hotspot` runs the skewed-load scenario: a flash crowd on one title
+//! over a 10 000-node ring, once with the balance subsystem observing
+//! only and once mitigating (entry splitting + hot-key read fan-out),
+//! plus a cache-admission comparison under tight LRU caches. It prints
+//! the per-node imbalance tables, writes them as CSVs under `--csv DIR`,
+//! and merges the numbers into `BENCH_results.json` in the same
+//! directory under the `"hotspot"` key. Exits non-zero if the mitigation
+//! makes the headline max/mean load ratio *worse* than baseline.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -58,6 +70,7 @@ use std::time::Instant;
 use p2p_index_core::CachePolicy;
 use p2p_index_sim::exec::{effective_workers, resolve_jobs};
 use p2p_index_sim::experiments::{self, EvalConfig, Evaluation};
+use p2p_index_sim::hotspot::{self, HotspotConfig};
 use p2p_index_sim::netd::{self, ServeOptions};
 use p2p_index_sim::simulation::{SchemeChoice, SimConfig, Simulation};
 use p2p_index_sim::table::TextTable;
@@ -131,7 +144,9 @@ fn usage() -> String {
      \x20      repro trace <query> [--small] [--nodes N] [--articles N] [--seed N]\n\
      \x20      repro serve [--substrate ring|chord|kademlia|pastry] [--port N] [--node-name NAME] [--loss F] [--fault-seed N] \
      [--replicas R] [--quorum W,RQ] [--peers NAME=HOST:PORT,...] [--repair-ms N]\n\
-     \x20      repro net-demo --members HOST:PORT,... [--articles N] [--queries N] [--seed N] [--replicas R] [--quorum W,RQ] [--shutdown]"
+     \x20      repro net-demo --members HOST:PORT,... [--articles N] [--queries N] [--seed N] [--replicas R] [--quorum W,RQ] [--shutdown]\n\
+     \x20      repro hotspot [--small] [--csv DIR] [--nodes N] [--articles N] [--queries N] [--seed N] \
+     [--hot-rank N] [--boost F] [--budget N] [--threshold N] [--fanout N]"
         .to_string()
 }
 
@@ -249,6 +264,80 @@ fn run_net_demo(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         read_quorum,
         shutdown,
     )
+}
+
+/// Parses `repro hotspot` flags and runs the skewed-load scenario:
+/// tables to stdout, CSVs under `--csv`, and the imbalance numbers
+/// merged into `BENCH_results.json` under the `"hotspot"` key.
+fn run_hotspot(mut args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let mut config = HotspotConfig::paper();
+    let mut csv_dir: Option<PathBuf> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--small" => config = HotspotConfig::small(),
+            "--nodes" => config.nodes = parse_num(args.next(), "--nodes")?,
+            "--articles" => config.articles = parse_num(args.next(), "--articles")?,
+            "--queries" => config.queries = parse_num(args.next(), "--queries")?,
+            "--seed" => config.seed = parse_num(args.next(), "--seed")? as u64,
+            "--hot-rank" => config.hot_rank = parse_num(args.next(), "--hot-rank")?,
+            "--boost" => {
+                config.boost = args
+                    .next()
+                    .ok_or("--boost needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--boost: {e}"))?;
+            }
+            "--budget" => config.page_budget = parse_num(args.next(), "--budget")?,
+            "--threshold" => config.hot_threshold = parse_num(args.next(), "--threshold")? as u64,
+            "--fanout" => config.fanout = parse_num(args.next(), "--fanout")?,
+            "--csv" => csv_dir = Some(PathBuf::from(args.next().ok_or("--csv needs a directory")?)),
+            other => return Err(format!("unknown hotspot flag {other}\n{}", usage())),
+        }
+    }
+    let (w0, w1) = config.window_indices();
+    eprintln!(
+        "# hotspot: {} nodes, {} articles, {} queries (seed {}), crowd on rank {} \
+         during queries {w0}..{w1} at boost {:.2}; mitigation budget {} B, \
+         threshold {}, fanout {}",
+        config.nodes,
+        config.articles,
+        config.queries,
+        config.seed,
+        config.hot_rank,
+        config.boost,
+        config.page_budget,
+        config.hot_threshold,
+        config.fanout
+    );
+    let report = hotspot::run(&config);
+    emit(&report.imbalance_table(), &csv_dir, "hotspot");
+    emit(&report.mitigation_table(), &csv_dir, "hotspot_mitigation");
+
+    let dir = csv_dir.unwrap_or_else(|| PathBuf::from("."));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return Err(format!("cannot create {}: {e}", dir.display()));
+    }
+    let path = dir.join("BENCH_results.json");
+    let existing = std::fs::read_to_string(&path).ok();
+    let merged = hotspot::merge_bench_json(existing.as_deref(), &report.json_member());
+    std::fs::write(&path, merged).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    eprintln!("wrote {}", path.display());
+
+    eprintln!(
+        "# ops max/mean: {:.2} baseline -> {:.2} mitigated ({} splits, {} promotions, \
+         {} mirror reads)",
+        report.baseline.ops.max_over_mean,
+        report.mitigated.ops.max_over_mean,
+        report.mitigated.splits,
+        report.mitigated.promotions,
+        report.mitigated.mirror_reads
+    );
+    if report.improved() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("# FAIL: mitigation worsened the max/mean load ratio");
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 /// Writes the per-cell observability snapshots as one deterministic JSON
@@ -672,6 +761,15 @@ fn main() -> ExitCode {
         };
         return match result {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if first.as_deref() == Some("hotspot") {
+        return match run_hotspot(std::env::args().skip(2)) {
+            Ok(code) => code,
             Err(e) => {
                 eprintln!("{e}");
                 ExitCode::FAILURE

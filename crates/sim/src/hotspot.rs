@@ -1,0 +1,714 @@
+//! The skewed-load scenario: `repro hotspot`.
+//!
+//! The paper's popularity model (Fig. 10) already concentrates requests on
+//! a few articles; a flash crowd — a news-driven spike on one title —
+//! concentrates them further onto the handful of nodes owning that title's
+//! index keys. This module scripts exactly that scenario over a large ring
+//! and measures what each node actually serves, with and without the
+//! `crates/dht` balance subsystem ([`SplitDht`]) in the path:
+//!
+//! * **baseline** — [`BalanceConfig::observe_only`]: every operation
+//!   passes through unchanged; the decorator only attributes physical
+//!   puts/gets to the owning node.
+//! * **mitigated** — entry splitting (oversized entries paginate onto
+//!   deterministic child keys owned by other nodes) plus hot-key read
+//!   fan-out (reads of promoted keys rotate across successor mirrors).
+//!
+//! Both cells run the *same* corpus, workload seed, and query stream, so
+//! the per-node load difference is attributable to the subsystem alone.
+//! A second cell pair exercises the cache-admission control under tight
+//! per-node LRU caches: without admission gating, one-off tail queries
+//! evict the flash crowd's shortcut; with it, the hot entry survives.
+//!
+//! The headline exhibit is the per-node imbalance summary
+//! ([`ImbalanceSummary`]: max/mean, Gini, top-k) over operations served
+//! and bytes stored, emitted as a table/CSV and merged into
+//! `BENCH_results.json` under the `"hotspot"` key.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use p2p_index_core::{CachePolicy, IndexScheme, IndexService, SimpleScheme};
+use p2p_index_dht::{BalanceConfig, Dht, NodeLoad, RingDht, SplitDht};
+use p2p_index_obs::ImbalanceSummary;
+use p2p_index_workload::{Corpus, CorpusConfig, FlashCrowd, QueryStructure, StructureMix};
+use p2p_index_xpath::Query;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::simulation::user_search_buffered;
+use crate::table::{fmt_f, TextTable};
+
+/// How many heaviest nodes the imbalance summaries retain.
+const TOP_K: usize = 5;
+
+/// Per-node LRU capacity of the cache-admission cell pair: one slot, so
+/// every ungated insert evicts whatever the node held. Repeated keys keep
+/// themselves resident through LRU recency at any larger capacity; the
+/// one-slot cache is where eviction by one-off tail keys actually costs
+/// hits, and therefore where admission gating pays.
+const ADMISSION_LRU_CAPACITY: usize = 1;
+
+/// Full configuration of one hot-spot scenario run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotspotConfig {
+    /// Ring size (paper-scale default: 10 000 simulated nodes).
+    pub nodes: usize,
+    /// Corpus size.
+    pub articles: usize,
+    /// Queries fed sequentially.
+    pub queries: usize,
+    /// Seed for corpus and workload generation.
+    pub seed: u64,
+    /// Popularity rank (1-based) of the article the flash crowd hits.
+    pub hot_rank: usize,
+    /// Crowd window as fractions of the query stream, `0.0 ..= 1.0`.
+    pub window: (f64, f64),
+    /// In-window probability that a query redirects to the hot title.
+    pub boost: f64,
+    /// [`BalanceConfig::page_budget`] of the mitigated cell.
+    pub page_budget: usize,
+    /// [`BalanceConfig::hot_threshold`] of the mitigated cell.
+    pub hot_threshold: u64,
+    /// [`BalanceConfig::fanout`] of the mitigated cell.
+    pub fanout: usize,
+    /// Cache policy of the two headline cells. Defaults to
+    /// [`CachePolicy::None`] so the exhibit isolates the DHT layer: the
+    /// paper's shortcut caches absorb repeated *lookups*, but publishes
+    /// and cold lookups still land on the owners — that residual load is
+    /// what the balance subsystem spreads.
+    pub policy: CachePolicy,
+    /// Admission threshold of the cache-admission comparison cell (and of
+    /// the mitigated headline cell, where it only matters if `policy`
+    /// creates caches).
+    pub admission: u32,
+    /// Also run the cache-admission cell pair (two extra cells under
+    /// `Lru(4)` caches). On for the full exhibit, off for quick checks.
+    pub admission_cells: bool,
+}
+
+impl HotspotConfig {
+    /// The full-scale scenario: a 10 000-node ring, the paper's corpus
+    /// and popularity constants, and a flash crowd over the middle fifth
+    /// of the stream.
+    pub fn paper() -> HotspotConfig {
+        HotspotConfig {
+            nodes: 10_000,
+            articles: 10_000,
+            queries: 50_000,
+            seed: 42,
+            hot_rank: 7,
+            window: (0.4, 0.6),
+            boost: 0.9,
+            page_budget: 1536,
+            hot_threshold: 64,
+            fanout: 7,
+            policy: CachePolicy::None,
+            admission: 3,
+            admission_cells: true,
+        }
+    }
+
+    /// A scaled-down scenario with the same qualitative shape, for CI
+    /// smoke runs and tests.
+    pub fn small() -> HotspotConfig {
+        HotspotConfig {
+            nodes: 1_000,
+            articles: 1_000,
+            queries: 8_000,
+            hot_threshold: 32,
+            ..HotspotConfig::paper()
+        }
+    }
+
+    /// The crowd window as query indices.
+    pub fn window_indices(&self) -> (usize, usize) {
+        let clamp = |f: f64| ((self.queries as f64 * f) as usize).min(self.queries);
+        (clamp(self.window.0), clamp(self.window.1))
+    }
+
+    /// The mitigated cell's balance configuration.
+    pub fn balance(&self) -> BalanceConfig {
+        BalanceConfig::mitigating(self.page_budget, self.hot_threshold, self.fanout)
+    }
+
+    /// The corpus implied by this config (same sizing rule as the paper
+    /// grid, so equal `(articles, seed)` means an equal corpus).
+    pub fn corpus_config(&self) -> CorpusConfig {
+        CorpusConfig {
+            articles: self.articles,
+            author_pool: (self.articles / 3).max(16),
+            seed: self.seed,
+            ..CorpusConfig::default()
+        }
+    }
+}
+
+/// Everything measured in one scenario cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Cell label ("baseline", "mitigated", …).
+    pub label: String,
+    /// Imbalance of physical DHT operations served per node during the
+    /// query phase — the headline number.
+    pub ops: ImbalanceSummary,
+    /// Imbalance of value bytes stored per node at the end of the run.
+    pub stored_bytes: ImbalanceSummary,
+    /// Total physical gets during the query phase.
+    pub gets: u64,
+    /// Total physical puts during the query phase.
+    pub puts: u64,
+    /// Total user-system interactions.
+    pub interactions: u64,
+    /// Queries resolved through a cache shortcut.
+    pub cache_hits: u64,
+    /// Non-indexed initial queries (recoverable errors).
+    pub errors: u64,
+    /// Queries whose target was never located (expected 0).
+    pub failed: u64,
+    /// Entries split into pages over the whole run.
+    pub splits: u64,
+    /// Pages opened over the whole run.
+    pub pages_opened: u64,
+    /// Keys promoted to hot.
+    pub promotions: u64,
+    /// Gets that reassembled a split entry.
+    pub reassembled_gets: u64,
+    /// Gets served from a mirror instead of the primary.
+    pub mirror_reads: u64,
+    /// Keys currently split.
+    pub split_keys: usize,
+    /// Keys currently hot.
+    pub hot_keys: usize,
+}
+
+impl CellResult {
+    /// The cell as a JSON object fragment.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ops\": {}, \"stored_bytes\": {}, \"gets\": {}, \"puts\": {}, \
+             \"interactions\": {}, \"cache_hits\": {}, \"errors\": {}, \"failed\": {}, \
+             \"splits\": {}, \"pages_opened\": {}, \"promotions\": {}, \
+             \"reassembled_gets\": {}, \"mirror_reads\": {}, \
+             \"split_keys\": {}, \"hot_keys\": {}}}",
+            self.ops.to_json(),
+            self.stored_bytes.to_json(),
+            self.gets,
+            self.puts,
+            self.interactions,
+            self.cache_hits,
+            self.errors,
+            self.failed,
+            self.splits,
+            self.pages_opened,
+            self.promotions,
+            self.reassembled_gets,
+            self.mirror_reads,
+            self.split_keys,
+            self.hot_keys,
+        )
+    }
+}
+
+/// The full scenario result: the headline cell pair plus the optional
+/// cache-admission pair.
+#[derive(Debug, Clone)]
+pub struct HotspotReport {
+    /// The configuration that produced this report.
+    pub config: HotspotConfig,
+    /// Observe-only cell.
+    pub baseline: CellResult,
+    /// Splitting + fan-out cell.
+    pub mitigated: CellResult,
+    /// `Lru(4)` caches, admission gating off.
+    pub admission_off: Option<CellResult>,
+    /// `Lru(4)` caches, admission gating on.
+    pub admission_on: Option<CellResult>,
+}
+
+impl HotspotReport {
+    /// `true` when the mitigation did not worsen the headline number
+    /// (max/mean of per-node operations served). The CI smoke step greps
+    /// for this.
+    pub fn improved(&self) -> bool {
+        self.mitigated.ops.max_over_mean <= self.baseline.ops.max_over_mean
+    }
+
+    /// The headline table: per-node imbalance of operations served and
+    /// bytes stored, baseline vs mitigated.
+    pub fn imbalance_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Hot-spot imbalance: flash crowd on one title (repro hotspot)".to_string(),
+        );
+        t.header([
+            "cell", "measure", "nodes", "total", "mean", "max", "max/mean", "gini", "top-1",
+        ]);
+        for cell in [&self.baseline, &self.mitigated] {
+            for (measure, s) in [("ops", &cell.ops), ("bytes", &cell.stored_bytes)] {
+                t.row([
+                    cell.label.clone(),
+                    measure.to_string(),
+                    s.nodes.to_string(),
+                    s.total.to_string(),
+                    fmt_f(s.mean, 2),
+                    s.max.to_string(),
+                    fmt_f(s.max_over_mean, 2),
+                    fmt_f(s.gini, 4),
+                    s.top.first().copied().unwrap_or(0).to_string(),
+                ]);
+            }
+        }
+        t
+    }
+
+    /// The mechanism table: what the balance subsystem (and the caches)
+    /// actually did in each cell.
+    pub fn mitigation_table(&self) -> TextTable {
+        let mut t = TextTable::new("Hot-spot mitigation counters".to_string());
+        t.header([
+            "cell",
+            "splits",
+            "pages",
+            "promotions",
+            "split keys",
+            "hot keys",
+            "reassembled",
+            "mirror reads",
+            "cache hits",
+            "errors",
+        ]);
+        for cell in self.cells() {
+            t.row([
+                cell.label.clone(),
+                cell.splits.to_string(),
+                cell.pages_opened.to_string(),
+                cell.promotions.to_string(),
+                cell.split_keys.to_string(),
+                cell.hot_keys.to_string(),
+                cell.reassembled_gets.to_string(),
+                cell.mirror_reads.to_string(),
+                cell.cache_hits.to_string(),
+                cell.errors.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// All cells that ran, headline pair first.
+    pub fn cells(&self) -> Vec<&CellResult> {
+        let mut cells = vec![&self.baseline, &self.mitigated];
+        cells.extend(self.admission_off.iter());
+        cells.extend(self.admission_on.iter());
+        cells
+    }
+
+    /// The report as the `"hotspot": { … }` JSON member merged into
+    /// `BENCH_results.json` (hand-rolled, like every other JSON emitter
+    /// in this workspace).
+    pub fn json_member(&self) -> String {
+        let c = &self.config;
+        let (w0, w1) = c.window_indices();
+        let admission = match (&self.admission_off, &self.admission_on) {
+            (Some(off), Some(on)) => format!(
+                ",\n    \"admission\": {{\"lru_capacity\": {}, \"threshold\": {}, \
+                 \"off\": {}, \"on\": {}}}",
+                ADMISSION_LRU_CAPACITY,
+                c.admission,
+                off.to_json(),
+                on.to_json()
+            ),
+            _ => String::new(),
+        };
+        format!(
+            "\"hotspot\": {{\n    \"config\": {{\"nodes\": {}, \"articles\": {}, \"queries\": {}, \
+             \"seed\": {}, \"hot_rank\": {}, \"window\": [{w0}, {w1}], \"boost\": {:.2}, \
+             \"page_budget\": {}, \"hot_threshold\": {}, \"fanout\": {}}},\n    \
+             \"baseline\": {},\n    \"mitigated\": {}{admission},\n    \"improved\": {}\n  }}",
+            c.nodes,
+            c.articles,
+            c.queries,
+            c.seed,
+            c.hot_rank,
+            c.boost,
+            c.page_budget,
+            c.hot_threshold,
+            c.fanout,
+            self.baseline.to_json(),
+            self.mitigated.to_json(),
+            self.improved(),
+        )
+    }
+}
+
+/// Runs the whole scenario: the shared corpus, the headline cell pair,
+/// and (when configured) the cache-admission pair.
+pub fn run(config: &HotspotConfig) -> HotspotReport {
+    let corpus = Arc::new(Corpus::generate(config.corpus_config()));
+    let baseline = run_cell(
+        config,
+        &corpus,
+        BalanceConfig::observe_only(),
+        config.policy,
+        0,
+        "baseline",
+    );
+    let mitigated = run_cell(
+        config,
+        &corpus,
+        config.balance(),
+        config.policy,
+        config.admission,
+        "mitigated",
+    );
+    let (admission_off, admission_on) = if config.admission_cells {
+        let lru = CachePolicy::Lru(ADMISSION_LRU_CAPACITY);
+        (
+            Some(run_cell(
+                config,
+                &corpus,
+                config.balance(),
+                lru,
+                0,
+                "lru/no-admission",
+            )),
+            Some(run_cell(
+                config,
+                &corpus,
+                config.balance(),
+                lru,
+                config.admission.max(2),
+                "lru/admission",
+            )),
+        )
+    } else {
+        (None, None)
+    };
+    HotspotReport {
+        config: *config,
+        baseline,
+        mitigated,
+        admission_off,
+        admission_on,
+    }
+}
+
+/// Runs one cell: publish the corpus, feed the flash-crowd workload,
+/// summarize per-node load.
+fn run_cell(
+    config: &HotspotConfig,
+    corpus: &Arc<Corpus>,
+    balance: BalanceConfig,
+    policy: CachePolicy,
+    admission: u32,
+    label: &str,
+) -> CellResult {
+    let dht = SplitDht::new(RingDht::with_named_nodes(config.nodes), balance);
+    let mut service = IndexService::new(dht, policy);
+    service.set_cache_admission(admission);
+    let scheme: &dyn IndexScheme = &SimpleScheme;
+
+    let mut msds = Vec::with_capacity(corpus.len());
+    let mut files = Vec::with_capacity(corpus.len());
+    for article in corpus.articles() {
+        let file = article.file_name();
+        let msd = service
+            .publish(&article.descriptor(), file.clone(), scheme)
+            .expect("network is non-empty and the scheme is covering-safe");
+        msds.push(msd);
+        files.push(file);
+    }
+    // The query phase is the exhibit: drop the publish wave from the load
+    // table (splitting done during publish still shows in the counters
+    // and in the stored-bytes distribution).
+    service.dht_mut().reset_load();
+    service.reset_metrics();
+
+    let (w0, w1) = config.window_indices();
+    let crowd = FlashCrowd::new(config.articles, config.hot_rank, w0, w1, config.boost);
+    let mix = StructureMix::paper_simulation();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xf1a5);
+    // Interned like the paper workload generator: the crowd asks for the
+    // same few queries over and over.
+    let mut memo: HashMap<(QueryStructure, usize), Query> = HashMap::new();
+    let mut path = Vec::new();
+    let mut generalizations = Vec::new();
+    let mut interactions = 0u64;
+    let mut cache_hits = 0u64;
+    let mut errors = 0u64;
+    let mut failed = 0u64;
+    for qi in 0..config.queries {
+        let rank = crowd.sample_at(qi, &mut rng);
+        let target = rank - 1;
+        let article = corpus.article(target).expect("rank within corpus");
+        // The flash crowd is everyone searching one breaking title, so
+        // in-window hits on the hot article all share the title
+        // structure — one key, maximum concentration. Everything else
+        // follows the paper's structure mix.
+        let structure = if crowd.in_window(qi) && rank == config.hot_rank {
+            QueryStructure::Title
+        } else {
+            mix.sample(&mut rng)
+        };
+        let query = memo
+            .entry((structure, target))
+            .or_insert_with(|| structure.query_for(article))
+            .clone();
+        let outcome = user_search_buffered(
+            &mut service,
+            &query,
+            &msds[target],
+            files[target].as_str(),
+            &mut path,
+            &mut generalizations,
+        );
+        interactions += outcome.interactions as u64;
+        if outcome.cache_hit {
+            cache_hits += 1;
+        }
+        if outcome.error {
+            errors += 1;
+        }
+        if !outcome.found {
+            failed += 1;
+        }
+    }
+
+    let split = service.dht();
+    let loads = split.load();
+    let nodes = split.inner().nodes();
+    let ops_counts: Vec<u64> = nodes
+        .iter()
+        .map(|n| loads.get(n).map(NodeLoad::ops).unwrap_or(0))
+        .collect();
+    let gets: u64 = loads.values().map(|l| l.gets).sum();
+    let puts: u64 = loads.values().map(|l| l.puts).sum();
+    let byte_counts: Vec<u64> = split
+        .inner()
+        .storage_distribution()
+        .iter()
+        .map(|(_, _, bytes)| *bytes as u64)
+        .collect();
+    let (splits, pages_opened, promotions, reassembled_gets, mirror_reads) = split.balance_stats();
+    CellResult {
+        label: label.to_string(),
+        ops: ImbalanceSummary::from_counts(&ops_counts, TOP_K),
+        stored_bytes: ImbalanceSummary::from_counts(&byte_counts, TOP_K),
+        gets,
+        puts,
+        interactions,
+        cache_hits,
+        errors,
+        failed,
+        splits,
+        pages_opened,
+        promotions,
+        reassembled_gets,
+        mirror_reads,
+        split_keys: split.split_key_count(),
+        hot_keys: split.hot_key_count(),
+    }
+}
+
+/// Merges the scenario's `"hotspot": { … }` member into an existing
+/// `BENCH_results.json` body (replacing any previous `"hotspot"` member),
+/// or wraps it into a fresh document when there is none.
+pub fn merge_bench_json(existing: Option<&str>, hotspot_member: &str) -> String {
+    let fresh = || format!("{{\n  {hotspot_member}\n}}\n");
+    let Some(existing) = existing else {
+        return fresh();
+    };
+    let body = strip_member(existing, "\"hotspot\"");
+    let Some(close) = body.rfind('}') else {
+        return fresh();
+    };
+    let Some(open) = body.find('{') else {
+        return fresh();
+    };
+    let inner = body[open + 1..close].trim();
+    let comma = if inner.is_empty() { "" } else { "," };
+    format!(
+        "{}{comma}\n  {hotspot_member}\n}}\n",
+        body[..close].trim_end()
+    )
+}
+
+/// Removes `"name": { … }` (plus one adjacent comma) from a JSON object
+/// body. Brace-scanning is enough here: every string this workspace's
+/// emitters produce is brace-free.
+fn strip_member(body: &str, name: &str) -> String {
+    let Some(key) = body.find(name) else {
+        return body.to_string();
+    };
+    let Some(open_rel) = body[key..].find('{') else {
+        return body.to_string();
+    };
+    let open = key + open_rel;
+    let mut depth = 0usize;
+    let mut end = None;
+    for (i, c) in body[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(open + i + 1);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(end) = end else {
+        return body.to_string();
+    };
+    // Swallow one neighbouring comma so the remaining members stay valid.
+    let mut start = key;
+    let mut stop = end;
+    let after: String = body[end..]
+        .chars()
+        .take_while(|c| c.is_whitespace())
+        .collect();
+    if body[end..].trim_start().starts_with(',') {
+        stop = end + after.len() + 1;
+    } else {
+        let before = body[..key].trim_end();
+        if before.ends_with(',') {
+            start = before.len() - 1;
+        }
+    }
+    format!("{}{}", &body[..start], &body[stop..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HotspotConfig {
+        HotspotConfig {
+            nodes: 60,
+            articles: 150,
+            queries: 900,
+            seed: 7,
+            hot_rank: 3,
+            window: (0.3, 0.8),
+            boost: 1.0,
+            page_budget: 256,
+            hot_threshold: 16,
+            fanout: 4,
+            policy: CachePolicy::None,
+            admission: 2,
+            admission_cells: false,
+        }
+    }
+
+    #[test]
+    fn mitigation_reduces_query_phase_imbalance() {
+        let report = run(&tiny());
+        assert_eq!(report.baseline.failed, 0);
+        assert_eq!(report.mitigated.failed, 0);
+        // The observe-only cell never splits or promotes…
+        assert_eq!(report.baseline.splits, 0);
+        assert_eq!(report.baseline.promotions, 0);
+        // …the mitigated cell does both…
+        assert!(report.mitigated.splits > 0, "no entry ever split");
+        assert!(report.mitigated.promotions > 0, "no key ever promoted");
+        assert!(report.mitigated.mirror_reads > 0, "no read hit a mirror");
+        // …and the flash crowd's peak flattens.
+        assert!(
+            report.mitigated.ops.max_over_mean < report.baseline.ops.max_over_mean,
+            "max/mean {} (mitigated) !< {} (baseline)",
+            report.mitigated.ops.max_over_mean,
+            report.baseline.ops.max_over_mean
+        );
+        assert!(report.improved());
+    }
+
+    #[test]
+    fn both_cells_feed_an_identical_query_stream() {
+        // Same seed, same corpus: user-visible outcome counters that the
+        // balance layer must not disturb are identical across cells.
+        let report = run(&tiny());
+        assert_eq!(report.baseline.errors, report.mitigated.errors);
+        assert_eq!(report.baseline.failed, report.mitigated.failed);
+    }
+
+    #[test]
+    fn admission_cells_protect_tight_caches() {
+        // A sustained crowd over a mostly one-off tail: without gating,
+        // tail queries churn the one-slot caches and evict the crowd's
+        // shortcut between hits; with it, one-off keys never enter.
+        let config = HotspotConfig {
+            nodes: 20,
+            articles: 4_000,
+            queries: 4_000,
+            window: (0.0, 1.0),
+            boost: 0.4,
+            admission: 2,
+            admission_cells: true,
+            ..tiny()
+        };
+        let report = run(&config);
+        let off = report.admission_off.expect("pair requested");
+        let on = report.admission_on.expect("pair requested");
+        assert!(
+            on.cache_hits > off.cache_hits,
+            "admission lowered hits: {} <= {}",
+            on.cache_hits,
+            off.cache_hits
+        );
+    }
+
+    #[test]
+    fn json_member_carries_the_ci_keys() {
+        let report = run(&tiny());
+        let json = report.json_member();
+        assert!(json.starts_with("\"hotspot\": {"));
+        assert!(json.contains("\"improved\": "));
+        assert!(json.contains("\"baseline\": {"));
+        assert!(json.contains("\"max_over_mean\": "));
+    }
+
+    #[test]
+    fn merge_into_missing_and_empty_documents() {
+        let merged = merge_bench_json(None, "\"hotspot\": {\"x\": 1}");
+        assert_eq!(merged, "{\n  \"hotspot\": {\"x\": 1}\n}\n");
+        let merged = merge_bench_json(Some("{}\n"), "\"hotspot\": {\"x\": 1}");
+        assert_eq!(merged, "{\n  \"hotspot\": {\"x\": 1}\n}\n");
+    }
+
+    #[test]
+    fn merge_appends_after_existing_members() {
+        let existing = "{\n  \"grid\": { \"cells\": 12 }\n}\n";
+        let merged = merge_bench_json(Some(existing), "\"hotspot\": {\"x\": 1}");
+        assert_eq!(
+            merged,
+            "{\n  \"grid\": { \"cells\": 12 },\n  \"hotspot\": {\"x\": 1}\n}\n"
+        );
+    }
+
+    #[test]
+    fn merge_replaces_a_previous_hotspot_member() {
+        let existing =
+            "{\n  \"grid\": { \"cells\": 12 },\n  \"hotspot\": {\"old\": {\"a\": 2}}\n}\n";
+        let merged = merge_bench_json(Some(existing), "\"hotspot\": {\"x\": 1}");
+        assert_eq!(
+            merged,
+            "{\n  \"grid\": { \"cells\": 12 },\n  \"hotspot\": {\"x\": 1}\n}\n"
+        );
+        // Hotspot-first documents keep their trailing members too.
+        let existing = "{\n  \"hotspot\": {\"old\": 1},\n  \"net\": { \"rps\": 3 }\n}\n";
+        let merged = merge_bench_json(Some(existing), "\"hotspot\": {\"x\": 1}");
+        assert!(merged.contains("\"net\": { \"rps\": 3 }"));
+        assert!(merged.contains("\"hotspot\": {\"x\": 1}"));
+        assert!(!merged.contains("\"old\""));
+    }
+
+    #[test]
+    fn window_indices_clamp_to_the_stream() {
+        let config = HotspotConfig {
+            window: (0.5, 1.5),
+            ..tiny()
+        };
+        assert_eq!(config.window_indices(), (450, 900));
+    }
+}

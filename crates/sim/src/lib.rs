@@ -13,6 +13,9 @@
 //! * [`exec`] — the work-queue executor that runs independent grid cells
 //!   across cores while keeping every rendered table byte-identical to a
 //!   serial run;
+//! * [`hotspot`] — the skewed-load scenario (`repro hotspot`): a flash
+//!   crowd over a large ring, measured with and without the `crates/dht`
+//!   balance subsystem in the path;
 //! * [`netd`] — networked-cluster control: the `repro serve` dhtd daemon,
 //!   the `net-demo` remote workload client, and the loopback RPC bench;
 //! * [`table`] — text/CSV rendering.
@@ -29,10 +32,12 @@
 
 pub mod exec;
 pub mod experiments;
+pub mod hotspot;
 pub mod netd;
 pub mod simulation;
 pub mod table;
 
 pub use exec::{parallel_map, resolve_jobs};
 pub use experiments::{EvalConfig, Evaluation};
+pub use hotspot::{HotspotConfig, HotspotReport};
 pub use simulation::{Metrics, QueryOutcome, SchemeChoice, SimConfig, Simulation};

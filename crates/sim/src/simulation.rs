@@ -530,8 +530,12 @@ impl Simulation {
 /// result that matches the target article, until the file is found.
 ///
 /// Returns the per-query outcome; creates cache shortcuts on success.
-pub fn user_search(
-    service: &mut IndexService<RingDht>,
+///
+/// Generic over the substrate: the paper grid drives it over
+/// `RingDht`, the hot-spot scenario over a load-balancing
+/// `SplitDht<RingDht>`.
+pub fn user_search<D: Dht>(
+    service: &mut IndexService<D>,
     query: &Query,
     target_msd: &Query,
     target_file: &str,
@@ -550,8 +554,8 @@ pub fn user_search(
 /// and the generalization list — the simulation loop reuses one pair of
 /// buffers across its whole workload instead of allocating per query.
 /// Both buffers are cleared on entry.
-pub fn user_search_buffered(
-    service: &mut IndexService<RingDht>,
+pub fn user_search_buffered<D: Dht>(
+    service: &mut IndexService<D>,
     query: &Query,
     target_msd: &Query,
     target_file: &str,

@@ -33,5 +33,5 @@ pub mod popularity;
 pub mod querymodel;
 
 pub use corpus::{Article, Corpus, CorpusConfig};
-pub use popularity::{PaperCcdf, ZipfPopularity};
+pub use popularity::{FlashCrowd, PaperCcdf, ZipfPopularity};
 pub use querymodel::{GeneratedQuery, QueryGenerator, QueryStructure, StructureMix};

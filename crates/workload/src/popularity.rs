@@ -113,6 +113,94 @@ impl PaperCcdf {
     }
 }
 
+/// A flash crowd layered over a base popularity model.
+///
+/// Outside the crowd window, [`FlashCrowd::sample_at`] delegates to the
+/// base [`PaperCcdf`]. Inside the window — a contiguous span of the
+/// query sequence, mirroring a sudden news-driven spike — each query
+/// redirects to the single hot rank with probability `boost`, and
+/// otherwise still follows the base model. This is the scripted spike of
+/// the `repro hotspot` scenario.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_index_workload::FlashCrowd;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// // Queries 100..200 of the run send 90% of traffic to rank 7.
+/// let crowd = FlashCrowd::new(10_000, 7, 100, 200, 0.9);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let hot = (100..200)
+///     .filter(|&i| crowd.sample_at(i, &mut rng) == 7)
+///     .count();
+/// assert!(hot > 80);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    base: PaperCcdf,
+    hot_rank: usize,
+    window_start: usize,
+    window_end: usize,
+    boost: f64,
+}
+
+impl FlashCrowd {
+    /// A flash crowd on `hot_rank` (1-based) during queries
+    /// `window_start..window_end` of the run, redirecting each in-window
+    /// query to the hot rank with probability `boost`. The base model is
+    /// the paper's [`PaperCcdf`] over `n` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `hot_rank` is out of `1..=n`, or `boost` is
+    /// outside `[0, 1]`.
+    pub fn new(
+        n: usize,
+        hot_rank: usize,
+        window_start: usize,
+        window_end: usize,
+        boost: f64,
+    ) -> FlashCrowd {
+        assert!(
+            (1..=n).contains(&hot_rank),
+            "hot rank must be within the population"
+        );
+        assert!((0.0..=1.0).contains(&boost), "boost must be in [0, 1]");
+        FlashCrowd {
+            base: PaperCcdf::new(n),
+            hot_rank,
+            window_start,
+            window_end,
+            boost,
+        }
+    }
+
+    /// The spiked rank (1-based).
+    pub fn hot_rank(&self) -> usize {
+        self.hot_rank
+    }
+
+    /// The crowd window as `(start, end)` query indices.
+    pub fn window(&self) -> (usize, usize) {
+        (self.window_start, self.window_end)
+    }
+
+    /// `true` if query number `query_index` falls inside the crowd window.
+    pub fn in_window(&self, query_index: usize) -> bool {
+        (self.window_start..self.window_end).contains(&query_index)
+    }
+
+    /// Samples the rank (1-based) targeted by query number `query_index`.
+    pub fn sample_at(&self, query_index: usize, rng: &mut StdRng) -> usize {
+        if self.in_window(query_index) && rng.gen::<f64>() < self.boost {
+            return self.hot_rank;
+        }
+        self.base.sample(rng)
+    }
+}
+
 /// Classic ranked Zipf popularity: `p_i ∝ 1/i^alpha` over `n` ranks.
 ///
 /// Used for the Fig. 9 author/title popularity series and anywhere a
@@ -279,6 +367,42 @@ mod tests {
     #[should_panic(expected = "population must be non-empty")]
     fn empty_population_panics() {
         let _ = PaperCcdf::new(0);
+    }
+
+    #[test]
+    fn flash_crowd_spikes_only_inside_window() {
+        let crowd = FlashCrowd::new(1000, 3, 500, 700, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        // boost = 1.0: every in-window query hits the hot rank.
+        for i in 500..700 {
+            assert_eq!(crowd.sample_at(i, &mut rng), 3);
+        }
+        // Outside the window the base CCDF drives: rank 3 gets a few
+        // percent of queries, not all of them.
+        let hot_outside = (0..500)
+            .filter(|&i| crowd.sample_at(i, &mut rng) == 3)
+            .count();
+        assert!(hot_outside < 100, "rank 3 drew {hot_outside}/500 outside");
+        assert!(crowd.in_window(500) && !crowd.in_window(700));
+        assert_eq!(crowd.hot_rank(), 3);
+        assert_eq!(crowd.window(), (500, 700));
+    }
+
+    #[test]
+    fn flash_crowd_partial_boost_mixes_with_base() {
+        let crowd = FlashCrowd::new(10_000, 1, 0, 10_000, 0.5);
+        let mut rng = StdRng::seed_from_u64(23);
+        let hot = (0..10_000)
+            .filter(|&i| crowd.sample_at(i, &mut rng) == 1)
+            .count();
+        // ≈ boost + (1-boost)·F(1) ≈ 0.53 of queries.
+        assert!((4_800..6_000).contains(&hot), "hot draws {hot}/10000");
+    }
+
+    #[test]
+    #[should_panic(expected = "hot rank must be within the population")]
+    fn flash_crowd_rejects_out_of_range_rank() {
+        let _ = FlashCrowd::new(10, 11, 0, 5, 0.5);
     }
 
     #[test]
