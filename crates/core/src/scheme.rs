@@ -175,12 +175,15 @@ impl IndexScheme for SimpleScheme {
     fn index_edges(&self, descriptor: &Descriptor, msd: &Query) -> Vec<(Query, Query)> {
         let f = BiblioFields::of(descriptor);
         let mut edges = Vec::new();
+        // Built once: the title query is the same for every author, and a
+        // `Query` clone is two `Arc` bumps.
+        let title = f.title_query();
         for author in &f.authors {
             match f.author_title_query(author) {
                 Some(at) => {
                     push_edge(&mut edges, f.author_query(author), at.clone());
-                    if let Some(t) = f.title_query() {
-                        push_edge(&mut edges, t, at.clone());
+                    if let Some(t) = &title {
+                        push_edge(&mut edges, t.clone(), at.clone());
                     }
                     push_edge(&mut edges, at, msd.clone());
                 }
@@ -189,7 +192,7 @@ impl IndexScheme for SimpleScheme {
             }
         }
         if f.authors.is_empty() {
-            if let Some(t) = f.title_query() {
+            if let Some(t) = title {
                 push_edge(&mut edges, t, msd.clone());
             }
         }
@@ -265,13 +268,17 @@ impl IndexScheme for ComplexScheme {
     fn index_edges(&self, descriptor: &Descriptor, msd: &Query) -> Vec<(Query, Query)> {
         let f = BiblioFields::of(descriptor);
         let mut edges = Vec::new();
+        // Built once: these are author-independent, and a `Query` clone
+        // is two `Arc` bumps.
+        let title = f.title_query();
+        let conf_year = f.conf_year_query();
         for author in &f.authors {
             let a = f.author_query(author);
             let mut author_chained = false;
             if let Some(at) = f.author_title_query(author) {
                 push_edge(&mut edges, a.clone(), at.clone());
-                if let Some(t) = f.title_query() {
-                    push_edge(&mut edges, t, at.clone());
+                if let Some(t) = &title {
+                    push_edge(&mut edges, t.clone(), at.clone());
                 }
                 push_edge(&mut edges, at, msd.clone());
                 author_chained = true;
@@ -282,8 +289,8 @@ impl IndexScheme for ComplexScheme {
                     push_edge(&mut edges, a.clone(), ac.clone());
                     push_edge(&mut edges, ac, acy.clone());
                 }
-                if let Some(cy) = f.conf_year_query() {
-                    push_edge(&mut edges, cy, acy.clone());
+                if let Some(cy) = &conf_year {
+                    push_edge(&mut edges, cy.clone(), acy.clone());
                 }
                 push_edge(&mut edges, acy, msd.clone());
                 author_chained = true;
@@ -294,11 +301,11 @@ impl IndexScheme for ComplexScheme {
             }
         }
         if f.authors.is_empty() {
-            if let Some(t) = f.title_query() {
+            if let Some(t) = title {
                 push_edge(&mut edges, t, msd.clone());
             }
         }
-        match f.conf_year_query() {
+        match conf_year {
             Some(cy) => {
                 if let Some(c) = f.conf_query() {
                     push_edge(&mut edges, c, cy.clone());
@@ -335,14 +342,17 @@ impl IndexScheme for Fig4Scheme {
     fn index_edges(&self, descriptor: &Descriptor, msd: &Query) -> Vec<(Query, Query)> {
         let f = BiblioFields::of(descriptor);
         let mut edges = Vec::new();
+        // Built once: the title query is the same for every author, and a
+        // `Query` clone is two `Arc` bumps.
+        let title = f.title_query();
         for author in &f.authors {
             let a = f.author_query(author);
             push_edge(&mut edges, f.last_name_query(author), a.clone());
             match f.author_title_query(author) {
                 Some(at) => {
                     push_edge(&mut edges, a, at.clone());
-                    if let Some(t) = f.title_query() {
-                        push_edge(&mut edges, t, at.clone());
+                    if let Some(t) = &title {
+                        push_edge(&mut edges, t.clone(), at.clone());
                     }
                     push_edge(&mut edges, at, msd.clone());
                 }
@@ -350,7 +360,7 @@ impl IndexScheme for Fig4Scheme {
             }
         }
         if f.authors.is_empty() {
-            if let Some(t) = f.title_query() {
+            if let Some(t) = title {
                 push_edge(&mut edges, t, msd.clone());
             }
         }

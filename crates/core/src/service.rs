@@ -672,9 +672,24 @@ impl<D: Dht> IndexService<D> {
             key: msd_key,
             value: file_value,
         });
+        // Most schemes terminate several chains at the MSD, so the encoded
+        // `Query(msd)` value is shared across those edges (a `Bytes` clone
+        // is a refcount bump) instead of re-encoded per edge.
+        let mut msd_value: Option<Bytes> = None;
         for (from, to) in edges {
             let from_key = self.cached_key(&from);
-            let value = self.encode_target(&IndexTarget::Query(to));
+            let value = if to == msd {
+                match &msd_value {
+                    Some(v) => v.clone(),
+                    None => {
+                        let v = self.encode_target(&IndexTarget::Query(to));
+                        msd_value = Some(v.clone());
+                        v
+                    }
+                }
+            } else {
+                self.encode_target(&IndexTarget::Query(to))
+            };
             ops.push(DhtOp::Put {
                 key: from_key,
                 value,

@@ -54,6 +54,7 @@ pub mod key;
 pub mod pastry;
 pub mod placement;
 pub mod ring;
+pub mod sharded;
 pub mod split;
 pub mod storage;
 
@@ -66,5 +67,6 @@ pub use kademlia::{KademliaConfig, KademliaNetwork};
 pub use key::{Key, KEY_BITS};
 pub use pastry::{PastryConfig, PastryNetwork};
 pub use ring::RingDht;
+pub use sharded::{ShardedDht, DEFAULT_SHARDS};
 pub use split::{page_key, BalanceConfig, NodeLoad, SplitDht};
 pub use storage::NodeStore;

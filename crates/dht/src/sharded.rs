@@ -1,0 +1,636 @@
+//! A sharded, reader-concurrent single-node partition store.
+//!
+//! A networked `dhtd` daemon serves exactly one partition: every key the
+//! client routes to it belongs to it, so the substrate behind the server is
+//! always a one-node ring. That substrate used to sit behind one global
+//! `Mutex`, which serialized every request a daemon handled — reads
+//! included — and capped the multi-core scaling of the serving path.
+//!
+//! [`ShardedDht`] is the replacement: the partition's key space is split
+//! across N key-hash shards, each behind its own [`std::sync::RwLock`], so
+//! concurrent `Get`s proceed in parallel (shared read locks) and only
+//! `Put`/`Remove` takes a single shard's write lock. The paper's workloads
+//! are overwhelmingly read-heavy — searches dominate publishes by orders of
+//! magnitude in the §V grids — which is exactly the shape reader-writer
+//! shard locks serve well.
+//!
+//! Behavior is pinned to `RingDht::from_ids([id])`: same responses, same
+//! [`DhtStats`] accounting (`Put`/`Get` → +1 lookup +2 messages, `Remove`
+//! → +2 messages, `NodeFor` → free), same [`Dht::entries`] snapshot shape
+//! (ascending key order). A shard-count-invariance property test holds a
+//! 1-shard and a 16-shard store to the plain-ring oracle.
+//!
+//! Replication tombstones (deleted values a stale replica must not push
+//! back) live *inside* the shards, guarded by the same locks as the values
+//! they shadow, so the networked server needs no global tombstone table.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
+
+use bytes::Bytes;
+use p2p_index_obs::MetricsRegistry;
+
+use crate::api::{self, Dht, DhtError, DhtOp, DhtResponse, DhtStats, NodeId};
+use crate::key::Key;
+use crate::storage::NodeStore;
+
+/// Default shard count for a served partition.
+///
+/// Fixed (not derived from the host's core count) so a partition's layout
+/// is identical on a laptop, a CI runner, and a many-core server; 16 gives
+/// a low collision probability for the bench's 16-thread cells at a
+/// negligible footprint per shard.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// One key-hash shard: a slice of the partition's store plus the
+/// replication tombstones shadowing it, consistent under one lock.
+#[derive(Debug, Default)]
+struct Shard {
+    store: NodeStore,
+    /// Values deleted locally that a stale replica must not resurrect via
+    /// a repair push. Kept under the same lock as the store so a
+    /// tombstone check and the value it guards can never be observed in
+    /// a torn state within a shard.
+    deleted: HashMap<Key, HashSet<Bytes>>,
+}
+
+/// A single-node DHT partition sharded for concurrent access.
+///
+/// All operational methods take `&self`: connection workers, the
+/// replication fan-out, and the anti-entropy repair thread each acquire
+/// only the shard lock(s) their operation touches. Lock discipline:
+/// at most one shard lock is held at a time, except
+/// [`ShardedDht::replace_contents`], which takes every shard write lock
+/// in ascending index order (and is the only multi-shard acquirer, so it
+/// cannot deadlock against the single-shard paths).
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use p2p_index_dht::{Dht, Key, NodeId, ShardedDht};
+///
+/// let mut dht = ShardedDht::new(NodeId::hash_of("node-0"), 16);
+/// let key = Key::hash_of("hello");
+/// dht.put(key, Bytes::from_static(b"world"));
+/// assert_eq!(dht.get(&key), vec![Bytes::from_static(b"world")]);
+/// ```
+#[derive(Debug)]
+pub struct ShardedDht {
+    id: NodeId,
+    shards: Box<[RwLock<Shard>]>,
+    /// `shards.len() - 1`; the count is a power of two so shard selection
+    /// is a mask over the key's low bits.
+    mask: u64,
+    // Atomic so the shared-reference read path (`get`) can account its
+    // request/response pair like every other substrate does.
+    lookups: AtomicU64,
+    messages: AtomicU64,
+    metrics: MetricsRegistry,
+    /// Registry for `net.server.shard.*` lock-acquisition counters,
+    /// attached by the networked server. Separate from `metrics` so
+    /// substrate-level `dht.*` recording and server-level contention
+    /// observability can be enabled independently.
+    shard_metrics: MetricsRegistry,
+}
+
+impl ShardedDht {
+    /// Creates an empty partition store for node `id` with `shards`
+    /// key-hash shards (rounded up to a power of two, minimum 1).
+    pub fn new(id: NodeId, shards: usize) -> ShardedDht {
+        let count = shards.max(1).next_power_of_two();
+        let shards: Box<[RwLock<Shard>]> =
+            (0..count).map(|_| RwLock::new(Shard::default())).collect();
+        ShardedDht {
+            id,
+            mask: count as u64 - 1,
+            shards,
+            lookups: AtomicU64::new(0),
+            messages: AtomicU64::new(0),
+            metrics: MetricsRegistry::default(),
+            shard_metrics: MetricsRegistry::default(),
+        }
+    }
+
+    /// Creates a partition store with [`DEFAULT_SHARDS`] shards.
+    pub fn with_default_shards(id: NodeId) -> ShardedDht {
+        ShardedDht::new(id, DEFAULT_SHARDS)
+    }
+
+    /// The node this partition belongs to.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Attaches a registry for the `net.server.shard.*` lock counters
+    /// (`read_locks`, `write_locks`, `read_contended`, `write_contended`).
+    ///
+    /// When the registry is disabled the lock paths are the plain
+    /// `read()`/`write()` calls — no counter is touched, preserving the
+    /// metrics-off hot path.
+    pub fn set_shard_metrics(&mut self, metrics: MetricsRegistry) {
+        self.shard_metrics = metrics;
+    }
+
+    fn shard_of(&self, key: &Key) -> &RwLock<Shard> {
+        &self.shards[(key.low_u64() & self.mask) as usize]
+    }
+
+    /// Acquires a shard read lock, counting the acquisition and — via a
+    /// `try_read` probe — contended waits when shard metrics are enabled.
+    fn read_shard<'a>(&self, shard: &'a RwLock<Shard>) -> RwLockReadGuard<'a, Shard> {
+        if !self.shard_metrics.is_enabled() {
+            return shard.read().unwrap_or_else(PoisonError::into_inner);
+        }
+        self.shard_metrics.incr("net.server.shard.read_locks");
+        match shard.try_read() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                self.shard_metrics.incr("net.server.shard.read_contended");
+                shard.read().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
+    }
+
+    /// Write-lock twin of [`ShardedDht::read_shard`].
+    fn write_shard<'a>(&self, shard: &'a RwLock<Shard>) -> RwLockWriteGuard<'a, Shard> {
+        if !self.shard_metrics.is_enabled() {
+            return shard.write().unwrap_or_else(PoisonError::into_inner);
+        }
+        self.shard_metrics.incr("net.server.shard.write_locks");
+        match shard.try_write() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                self.shard_metrics.incr("net.server.shard.write_contended");
+                shard.write().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
+    }
+
+    fn execute_op(&self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        match op {
+            DhtOp::NodeFor(_) => Ok(DhtResponse::Node(self.id)),
+            DhtOp::Get(key) => Ok(DhtResponse::Values(Dht::get(self, &key))),
+            DhtOp::Put { key, value } => {
+                self.lookups.fetch_add(1, Ordering::Relaxed);
+                self.messages.fetch_add(2, Ordering::Relaxed);
+                let mut shard = self.write_shard(self.shard_of(&key));
+                Ok(DhtResponse::Stored(shard.store.put(key, value)))
+            }
+            DhtOp::Remove { key, value } => {
+                self.messages.fetch_add(2, Ordering::Relaxed);
+                let mut shard = self.write_shard(self.shard_of(&key));
+                Ok(DhtResponse::Removed(shard.store.remove(&key, &value)))
+            }
+        }
+    }
+
+    /// Executes one operation through a shared reference — the entry point
+    /// the networked server's connection workers call concurrently.
+    ///
+    /// Semantics (responses, accounting, metrics recording) are identical
+    /// to [`Dht::execute`]; only the receiver differs.
+    pub fn execute_shared(&self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        if !self.metrics.is_enabled() {
+            return self.execute_op(op);
+        }
+        let kind = op.kind();
+        let before = self.stats();
+        let result = self.execute_op(op);
+        api::record_op(&self.metrics, kind, before, self.stats(), &result);
+        result
+    }
+
+    /// Executes a batch of independent operations through a shared
+    /// reference, one result per op in order — semantics identical to
+    /// [`Dht::execute_many`]. No global lock exists to amortize: each op
+    /// takes only its own shard's lock, so batches from different
+    /// connections interleave freely.
+    pub fn execute_many_shared(&self, ops: Vec<DhtOp>) -> Vec<Result<DhtResponse, DhtError>> {
+        if self.metrics.is_enabled() {
+            // Per-op recording must stay identical to the unary sequence.
+            return ops.into_iter().map(|op| self.execute_shared(op)).collect();
+        }
+        ops.into_iter().map(|op| self.execute_op(op)).collect()
+    }
+
+    /// Records the tombstone transition for a replicated write: a `Remove`
+    /// shadows the value against stale repair pushes, a `Put` of the same
+    /// value lifts the shadow (a deliberate re-add wins).
+    ///
+    /// Other operations are no-ops.
+    pub fn note_write(&self, op: &DhtOp) {
+        match op {
+            DhtOp::Remove { key, value } => {
+                let mut shard = self.write_shard(self.shard_of(key));
+                shard.deleted.entry(*key).or_default().insert(value.clone());
+            }
+            DhtOp::Put { key, value } => {
+                let mut shard = self.write_shard(self.shard_of(key));
+                if let Some(dead) = shard.deleted.get_mut(key) {
+                    dead.remove(value);
+                    if dead.is_empty() {
+                        shard.deleted.remove(key);
+                    }
+                }
+            }
+            DhtOp::NodeFor(_) | DhtOp::Get(_) => {}
+        }
+    }
+
+    /// Snapshot of the stored entries minus tombstoned values, plus the
+    /// number of values withheld — the repair/drain enumeration surface.
+    ///
+    /// Each shard is swept under one read guard, so the store and the
+    /// tombstones shadowing it are mutually consistent per shard; the
+    /// merged result is in ascending key order like [`Dht::entries`].
+    pub fn live_entries(&self) -> (Vec<(Key, Vec<Bytes>)>, u64) {
+        let mut live = Vec::new();
+        let mut withheld = 0u64;
+        for lock in self.shards.iter() {
+            let shard = self.read_shard(lock);
+            for (key, values) in shard.store.iter() {
+                let dead = shard.deleted.get(key);
+                let kept: Vec<Bytes> = values
+                    .iter()
+                    .filter(|v| !dead.is_some_and(|d| d.contains(*v)))
+                    .cloned()
+                    .collect();
+                withheld += (values.len() - kept.len()) as u64;
+                if !kept.is_empty() {
+                    live.push((*key, kept));
+                }
+            }
+        }
+        live.sort_unstable_by_key(|(key, _)| *key);
+        (live, withheld)
+    }
+
+    /// Filters an *incoming* entry list (e.g. a peer's `Transfer` payload)
+    /// against this partition's tombstones, returning the surviving
+    /// entries and the number of values withheld.
+    pub fn filter_live(&self, entries: Vec<(Key, Vec<Bytes>)>) -> (Vec<(Key, Vec<Bytes>)>, u64) {
+        let mut live = Vec::new();
+        let mut withheld = 0u64;
+        for (key, values) in entries {
+            let total = values.len();
+            let shard = self.read_shard(self.shard_of(&key));
+            let dead = shard.deleted.get(&key);
+            let kept: Vec<Bytes> = values
+                .into_iter()
+                .filter(|v| !dead.is_some_and(|d| d.contains(v)))
+                .collect();
+            drop(shard);
+            withheld += (total - kept.len()) as u64;
+            if !kept.is_empty() {
+                live.push((key, kept));
+            }
+        }
+        (live, withheld)
+    }
+
+    /// Snapshot of every tombstone as `(key, deleted values)`, in
+    /// ascending key order — the input to the repair thread's scrub pass.
+    pub fn tombstones(&self) -> Vec<(Key, Vec<Bytes>)> {
+        let mut all = Vec::new();
+        for lock in self.shards.iter() {
+            let shard = self.read_shard(lock);
+            for (key, dead) in shard.deleted.iter() {
+                all.push((*key, dead.iter().cloned().collect()));
+            }
+        }
+        all.sort_unstable_by_key(|(key, _)| *key);
+        all
+    }
+
+    /// Swaps this partition's stored contents for `new`'s entries,
+    /// returning the old contents (with the old work counters) as a
+    /// substrate box. Tombstones stay in place, mirroring the behavior of
+    /// swapping the substrate box behind a server whose tombstone table
+    /// lives outside it.
+    ///
+    /// Takes every shard write lock in ascending index order; this is the
+    /// only multi-shard lock acquisition in the type.
+    pub fn replace_contents(&self, new: Box<dyn Dht + Send>) -> Box<dyn Dht + Send> {
+        let mut guards: Vec<RwLockWriteGuard<'_, Shard>> =
+            self.shards.iter().map(|s| self.write_shard(s)).collect();
+        let old_shards: Vec<Shard> = guards
+            .iter_mut()
+            .map(|g| Shard {
+                store: std::mem::take(&mut g.store),
+                deleted: HashMap::new(),
+            })
+            .collect();
+        let mut old = ShardedDht::new(self.id, self.shards.len());
+        for (slot, shard) in old.shards.iter_mut().zip(old_shards) {
+            *slot.get_mut().unwrap_or_else(PoisonError::into_inner) = shard;
+        }
+        *old.lookups.get_mut() = self.lookups.load(Ordering::Relaxed);
+        *old.messages.get_mut() = self.messages.load(Ordering::Relaxed);
+        let incoming = new.stats();
+        self.lookups.store(incoming.lookups, Ordering::Relaxed);
+        self.messages.store(incoming.messages, Ordering::Relaxed);
+        for (key, values) in new.entries() {
+            let idx = (key.low_u64() & self.mask) as usize;
+            for value in values {
+                guards[idx].store.put(key, value);
+            }
+        }
+        Box::new(old)
+    }
+
+    /// Total distinct keys across all shards.
+    pub fn total_keys(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| self.read_shard(s).store.key_count())
+            .sum()
+    }
+
+    /// Total stored values across all shards.
+    pub fn total_values(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| self.read_shard(s).store.value_count())
+            .sum()
+    }
+}
+
+impl Dht for ShardedDht {
+    fn execute(&mut self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        self.execute_shared(op)
+    }
+
+    fn execute_many(&mut self, ops: Vec<DhtOp>) -> Vec<Result<DhtResponse, DhtError>> {
+        self.execute_many_shared(ops)
+    }
+
+    fn node_for(&self, _key: &Key) -> Option<NodeId> {
+        Some(self.id)
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        vec![self.id]
+    }
+
+    fn get(&self, key: &Key) -> Vec<Bytes> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.messages.fetch_add(2, Ordering::Relaxed);
+        self.read_shard(self.shard_of(key)).store.get(key).to_vec()
+    }
+
+    fn entries(&self) -> Vec<(Key, Vec<Bytes>)> {
+        let mut all = Vec::new();
+        for lock in self.shards.iter() {
+            let shard = self.read_shard(lock);
+            for (key, values) in shard.store.iter() {
+                all.push((*key, values.to_vec()));
+            }
+        }
+        all.sort_unstable_by_key(|(key, _)| *key);
+        all
+    }
+
+    fn stats(&self) -> DhtStats {
+        DhtStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hops: 0,
+        }
+    }
+
+    fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
+    }
+
+    fn len(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::RingDht;
+    use proptest::prelude::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn node() -> NodeId {
+        NodeId::hash_of("node-0")
+    }
+
+    /// A deterministic op script: puts, gets, removes (some hitting, some
+    /// missing), and a NodeFor, across a small key universe.
+    fn script(len: usize, seed: u64) -> Vec<DhtOp> {
+        let mut ops = Vec::with_capacity(len);
+        let mut state = seed | 1;
+        for i in 0..len {
+            // SplitMix-style scramble, deterministic across runs.
+            state = state
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(0x2545_f491_4f6c_dd1d);
+            let key = Key::hash_of(&format!("k{}", state % 17));
+            let value = Bytes::from(format!("v{}", state % 5));
+            ops.push(match state % 7 {
+                0 | 1 => DhtOp::Put { key, value },
+                2..=4 => DhtOp::Get(key),
+                5 => DhtOp::Remove { key, value },
+                _ => {
+                    let _ = i;
+                    DhtOp::NodeFor(key)
+                }
+            });
+        }
+        ops
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let mut dht = ShardedDht::with_default_shards(node());
+        let k = Key::hash_of("k");
+        assert!(dht.put(k, b("v")));
+        assert!(!dht.put(k, b("v")));
+        assert_eq!(Dht::get(&dht, &k), vec![b("v")]);
+        assert!(dht.remove(&k, b"v"));
+        assert!(Dht::get(&dht, &k).is_empty());
+        assert_eq!(dht.len(), 1);
+        assert_eq!(dht.node_for(&k), Some(node()));
+        assert_eq!(dht.nodes(), vec![node()]);
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(ShardedDht::new(node(), 0).shard_count(), 1);
+        assert_eq!(ShardedDht::new(node(), 1).shard_count(), 1);
+        assert_eq!(ShardedDht::new(node(), 3).shard_count(), 4);
+        assert_eq!(ShardedDht::new(node(), 16).shard_count(), 16);
+    }
+
+    #[test]
+    fn matches_single_node_ring_on_a_script() {
+        let mut sharded = ShardedDht::with_default_shards(node());
+        let mut ring = RingDht::from_ids([*node().key()]);
+        for op in script(400, 42) {
+            assert_eq!(sharded.execute(op.clone()), ring.execute(op));
+        }
+        assert_eq!(sharded.stats(), ring.stats());
+        assert_eq!(sharded.entries(), ring.entries());
+        assert_eq!(sharded.total_keys(), ring.total_keys());
+    }
+
+    #[test]
+    fn note_write_shadows_and_readd_lifts() {
+        let dht = ShardedDht::new(node(), 4);
+        let k = Key::hash_of("k");
+        dht.note_write(&DhtOp::Remove {
+            key: k,
+            value: b("gone"),
+        });
+        let (live, withheld) =
+            dht.filter_live(vec![(k, vec![b("gone"), b("kept")]), (k, vec![b("gone")])]);
+        assert_eq!(live, vec![(k, vec![b("kept")])]);
+        assert_eq!(withheld, 2);
+        assert_eq!(dht.tombstones(), vec![(k, vec![b("gone")])]);
+        // A deliberate re-add lifts the shadow.
+        dht.note_write(&DhtOp::Put {
+            key: k,
+            value: b("gone"),
+        });
+        assert!(dht.tombstones().is_empty());
+        let (live, withheld) = dht.filter_live(vec![(k, vec![b("gone")])]);
+        assert_eq!(live, vec![(k, vec![b("gone")])]);
+        assert_eq!(withheld, 0);
+    }
+
+    #[test]
+    fn live_entries_sweeps_store_minus_tombstones() {
+        let mut dht = ShardedDht::new(node(), 8);
+        let k1 = Key::hash_of("k1");
+        let k2 = Key::hash_of("k2");
+        dht.put(k1, b("a"));
+        dht.put(k1, b("b"));
+        dht.put(k2, b("c"));
+        dht.note_write(&DhtOp::Remove {
+            key: k1,
+            value: b("a"),
+        });
+        let (live, withheld) = dht.live_entries();
+        assert_eq!(withheld, 1);
+        let mut expected = vec![(k1, vec![b("b")]), (k2, vec![b("c")])];
+        expected.sort_unstable_by_key(|(k, _)| *k);
+        assert_eq!(live, expected);
+        // The full snapshot still includes the tombstoned value.
+        assert_eq!(dht.entries().iter().map(|(_, v)| v.len()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn replace_contents_swaps_stores_and_stats_but_keeps_tombstones() {
+        let mut dht = ShardedDht::new(node(), 8);
+        let k = Key::hash_of("old");
+        dht.put(k, b("old-value"));
+        dht.note_write(&DhtOp::Remove {
+            key: k,
+            value: b("shadow"),
+        });
+        let mut incoming = RingDht::from_ids([*node().key()]);
+        incoming.put(Key::hash_of("new"), b("new-value"));
+        let incoming_stats = incoming.stats();
+        let old = dht.replace_contents(Box::new(incoming));
+        assert_eq!(old.entries(), vec![(k, vec![b("old-value")])]);
+        assert_eq!(old.stats().lookups, 1);
+        assert_eq!(
+            dht.entries(),
+            vec![(Key::hash_of("new"), vec![b("new-value")])]
+        );
+        assert_eq!(dht.stats(), incoming_stats);
+        // Tombstones survive the swap, like a server-side substrate swap.
+        assert_eq!(dht.tombstones(), vec![(k, vec![b("shadow")])]);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_settle_to_the_oracle() {
+        use std::sync::Arc;
+        let dht = Arc::new(ShardedDht::with_default_shards(node()));
+        let threads = 8;
+        let per_thread = 50;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let dht = Arc::clone(&dht);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let key = Key::hash_of(&format!("t{t}-{i}"));
+                        let put = dht.execute_shared(DhtOp::Put {
+                            key,
+                            value: Bytes::from(format!("value-{t}-{i}")),
+                        });
+                        assert_eq!(put, Ok(DhtResponse::Stored(true)));
+                        let got = dht.execute_shared(DhtOp::Get(key));
+                        assert_eq!(
+                            got,
+                            Ok(DhtResponse::Values(vec![Bytes::from(format!(
+                                "value-{t}-{i}"
+                            ))]))
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(dht.total_values(), threads * per_thread);
+        let stats = dht.stats();
+        // Every op pair: put (+1 lookup +2 msgs) and get (+1 lookup +2 msgs).
+        assert_eq!(stats.lookups, 2 * (threads * per_thread) as u64);
+        assert_eq!(stats.messages, 4 * (threads * per_thread) as u64);
+    }
+
+    #[test]
+    fn shard_lock_metrics_count_acquisitions_only_when_enabled() {
+        let mut dht = ShardedDht::new(node(), 4);
+        let k = Key::hash_of("k");
+        dht.put(k, b("v"));
+        // Disabled registry: nothing recorded anywhere.
+        let registry = MetricsRegistry::default();
+        dht.set_shard_metrics(registry.clone());
+        dht.put(k, b("v2"));
+        let enabled = MetricsRegistry::new();
+        dht.set_shard_metrics(enabled.clone());
+        dht.put(k, b("v3"));
+        let _ = Dht::get(&dht, &k);
+        let snapshot = enabled.snapshot();
+        assert_eq!(snapshot.counter("net.server.shard.write_locks"), 1);
+        assert_eq!(snapshot.counter("net.server.shard.read_locks"), 1);
+        assert_eq!(snapshot.counter("net.server.shard.write_contended"), 0);
+    }
+
+    proptest! {
+        /// Shard-count invariance: a 1-shard store, a 16-shard store, and
+        /// the plain single-node ring all produce identical per-op
+        /// results, identical stats, and identical entry snapshots for
+        /// any op script.
+        #[test]
+        fn prop_shard_count_is_invisible(len in 1usize..120, seed in any::<u64>()) {
+            let mut one = ShardedDht::new(node(), 1);
+            let mut sixteen = ShardedDht::new(node(), 16);
+            let mut ring = RingDht::from_ids([*node().key()]);
+            for op in script(len, seed) {
+                let expected = ring.execute(op.clone());
+                prop_assert_eq!(one.execute(op.clone()), expected.clone());
+                prop_assert_eq!(sixteen.execute(op), expected);
+            }
+            prop_assert_eq!(one.stats(), ring.stats());
+            prop_assert_eq!(sixteen.stats(), ring.stats());
+            prop_assert_eq!(one.entries(), ring.entries());
+            prop_assert_eq!(sixteen.entries(), ring.entries());
+        }
+    }
+}

@@ -46,7 +46,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -56,7 +56,7 @@ use p2p_index_dht::{
 };
 use p2p_index_obs::MetricsRegistry;
 
-use crate::wire::{read_message, write_message, Message, RecvError};
+use crate::wire::{read_message_with, write_message, write_message_with, Message, RecvError};
 
 /// Tuning knobs for a [`RemoteDht`] client.
 #[derive(Debug, Clone)]
@@ -93,14 +93,61 @@ impl Default for RemoteDhtConfig {
     }
 }
 
-/// One cluster member: a pooled connection to a `dhtd` server, keyed by
-/// the node identifier it serves.
+/// How many pooled connections one client keeps per member. A single
+/// pooled stream made every multi-threaded client serialize per member —
+/// the client-side twin of the server's old global substrate mutex — so
+/// the server's reader concurrency was unreachable from one process. A
+/// small fixed set keeps that many RPCs to the same member in flight at
+/// once; beyond it, callers briefly queue on a slot.
+const CONNS_PER_MEMBER: usize = 4;
+
+/// One cluster member: a small pool of connections to a `dhtd` server,
+/// keyed by the node identifier it serves.
 struct Member {
     id: NodeId,
     addr: SocketAddr,
-    /// Lazily-dialed pooled connection; poisoned-on-failure (dropped and
-    /// redialed on the next call).
-    conn: Mutex<Option<TcpStream>>,
+    /// Lazily-dialed pooled connections; each slot is poisoned-on-failure
+    /// (dropped and redialed on the next call).
+    conns: Vec<Mutex<Option<TcpStream>>>,
+    /// Rotation point for slot leasing, so concurrent callers spread
+    /// across the pool instead of all contending on slot 0.
+    next_slot: AtomicUsize,
+}
+
+impl Member {
+    fn new(id: NodeId, addr: SocketAddr) -> Member {
+        Member {
+            id,
+            addr,
+            conns: (0..CONNS_PER_MEMBER).map(|_| Mutex::new(None)).collect(),
+            next_slot: AtomicUsize::new(0),
+        }
+    }
+
+    /// Leases one connection slot. Warm idle slots win: a sequential
+    /// caller stays on one established connection (identical wire
+    /// behaviour to the old single-stream pool), and a cold slot is only
+    /// dialed when every warm slot is busy — so the pool grows exactly
+    /// as far as the caller's actual concurrency. Only when every slot
+    /// is busy does the caller queue, on a rotated slot so queued
+    /// callers spread across the pool. Deadlock-free under concurrent
+    /// batches: every thread acquires members in ring order and holds at
+    /// most one slot per member, so wait chains only ever point up-ring.
+    fn lease(&self) -> MutexGuard<'_, Option<TcpStream>> {
+        for pass in 0..2 {
+            for slot in &self.conns {
+                if let Ok(guard) = slot.try_lock() {
+                    if pass == 1 || guard.is_some() {
+                        return guard;
+                    }
+                }
+            }
+        }
+        let start = self.next_slot.fetch_add(1, Ordering::Relaxed);
+        self.conns[start % self.conns.len()]
+            .lock()
+            .expect("connection pool poisoned")
+    }
 }
 
 /// One routed member's in-flight frame pair during a pipelined batch.
@@ -195,16 +242,7 @@ impl RemoteDht {
     pub fn connect(members: Vec<(NodeId, SocketAddr)>, mut config: RemoteDhtConfig) -> RemoteDht {
         let members: BTreeMap<Key, Member> = members
             .into_iter()
-            .map(|(id, addr)| {
-                (
-                    *id.key(),
-                    Member {
-                        id,
-                        addr,
-                        conn: Mutex::new(None),
-                    },
-                )
-            })
+            .map(|(id, addr)| (*id.key(), Member::new(id, addr)))
             .collect();
         let ring: Vec<Key> = members.keys().copied().collect();
         config.replicas = config.replicas.clamp(1, ring.len().max(1));
@@ -242,7 +280,7 @@ impl RemoteDht {
     /// server needs no shutdown.
     pub fn shutdown_members(&self) {
         for member in self.members.values() {
-            let mut slot = member.conn.lock().expect("connection pool poisoned");
+            let mut slot = member.lease();
             let stream = match slot.take() {
                 Some(stream) => Some(stream),
                 None => self.dial(member.addr).ok(),
@@ -371,6 +409,9 @@ impl RemoteDht {
             }
         }
         let mut round = 0usize;
+        // One encode/decode scratch buffer for the whole call — frames
+        // within a round are written, then read, strictly in sequence.
+        let mut scratch: Vec<u8> = Vec::new();
         loop {
             round += 1;
             // Scheduling: every unsettled op claims its next untried
@@ -418,7 +459,7 @@ impl RemoteDht {
             // claims fresh replicas (or settles by exhaustion).
             for (member_key, group) in attempts {
                 let member = &self.members[&member_key];
-                let mut slot = member.conn.lock().expect("connection pool poisoned");
+                let mut slot = member.lease();
                 if slot.is_none() {
                     match self.dial(member.addr) {
                         Ok(stream) => *slot = Some(stream),
@@ -446,7 +487,7 @@ impl RemoteDht {
                 };
                 let started = Instant::now();
                 let stream = slot.as_mut().expect("connection just ensured");
-                match write_message(stream, &msg) {
+                match write_message_with(stream, &msg, &mut scratch) {
                     Ok(sent) => {
                         self.metrics.incr("net.frames_out");
                         self.metrics.add("net.bytes_out", sent as u64);
@@ -471,7 +512,7 @@ impl RemoteDht {
             // routes; ops settle the moment their quorum is reached.
             for mut flight in in_flight {
                 let stream = flight.slot.as_mut().expect("stream pending a reply");
-                let (reply, received) = match read_message(stream) {
+                let (reply, received) = match read_message_with(stream, &mut scratch) {
                     Ok(ok) => ok,
                     Err(RecvError::Closed) | Err(RecvError::Io(_)) => {
                         self.metrics.incr("net.transport_errors");

@@ -34,8 +34,29 @@ impl LoopbackCluster {
     /// Starts `n` servers named `node-0..n-1`, each serving its single-node
     /// partition of a ring — collectively equivalent to
     /// `RingDht::with_named_nodes(n)` when fronted by a [`RemoteDht`].
+    /// Each member runs the default sharded reader-concurrent engine.
     pub fn start_ring(n: usize) -> io::Result<LoopbackCluster> {
-        Self::start_with(n, |id| Box::new(RingDht::from_ids([*id.key()])))
+        Self::start_ring_sharded(n, ServerConfig::default().shards)
+    }
+
+    /// [`LoopbackCluster::start_ring`] with an explicit shard count per
+    /// member. `shards <= 1` is the single-mutex escape hatch — the exact
+    /// pre-sharding server path — which the bench uses as the contention
+    /// baseline.
+    pub fn start_ring_sharded(n: usize, shards: usize) -> io::Result<LoopbackCluster> {
+        let mut servers = Vec::with_capacity(n);
+        let mut members = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = NodeId::hash_of(&format!("node-{i}"));
+            let config = ServerConfig {
+                shards,
+                ..ServerConfig::default()
+            };
+            let server = DhtServer::spawn_partition(id, "127.0.0.1:0", config)?;
+            members.push((id, server.local_addr()));
+            servers.push(server);
+        }
+        Ok(LoopbackCluster { servers, members })
     }
 
     /// Starts `n` servers whose substrates are wrapped in a fault
@@ -85,11 +106,7 @@ impl LoopbackCluster {
                 )),
                 ..ServerConfig::default()
             };
-            servers.push(DhtServer::spawn_on(
-                listener,
-                Box::new(RingDht::from_ids([*id.key()])),
-                config,
-            )?);
+            servers.push(DhtServer::spawn_partition_on(listener, id, config)?);
         }
         Ok(LoopbackCluster { servers, members })
     }

@@ -54,10 +54,14 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bytes::Bytes;
-use p2p_index_dht::{placement, Dht, DhtError, DhtOp, DhtResponse, Key};
+use p2p_index_dht::{
+    placement, Dht, DhtError, DhtOp, DhtResponse, Key, NodeId, RingDht, ShardedDht, DEFAULT_SHARDS,
+};
 use p2p_index_obs::MetricsRegistry;
 
-use crate::wire::{read_message, write_message, Message, RecvError};
+use crate::wire::{
+    read_message, read_message_with, write_message, write_message_with, Message, RecvError,
+};
 
 /// Cluster membership and quorum settings for one replicated server.
 #[derive(Debug, Clone)]
@@ -111,6 +115,13 @@ pub struct ServerConfig {
     /// Replicated-cluster membership; `None` (the default) serves a
     /// plain unreplicated partition, byte-identical to prior builds.
     pub replication: Option<ReplicationConfig>,
+    /// Key-hash shard count for partition servers created through
+    /// [`DhtServer::spawn_partition`]: the default serves through the
+    /// reader-concurrent sharded engine; `1` is the escape hatch back to
+    /// the classic single-mutex path (for comparison benches). Rounded
+    /// up to a power of two. Ignored by [`DhtServer::spawn`], whose
+    /// explicit substrate always serves through the single-mutex engine.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +132,7 @@ impl Default for ServerConfig {
             accept_poll: Duration::from_millis(10),
             metrics: MetricsRegistry::disabled(),
             replication: None,
+            shards: DEFAULT_SHARDS,
         }
     }
 }
@@ -233,9 +245,183 @@ impl Replication {
     }
 }
 
+/// The storage engine behind one server.
+///
+/// [`Engine::Sharded`] is the default for partition servers: concurrent
+/// reads under per-shard read locks, per-shard write locks for
+/// mutations, replication tombstones resident in the shards — no global
+/// lock anywhere on the request path. [`Engine::Locked`] is the classic
+/// single-mutex path every arbitrary substrate (fault injectors,
+/// protocol simulations, balance decorators) serves through, and the
+/// `--shards 1` escape hatch for apples-to-apples benches; its deletion
+/// markers live in a side table because a boxed substrate cannot host
+/// them.
+enum Engine {
+    /// An arbitrary substrate behind one global mutex, with replication
+    /// tombstones in a side table: `(key, value)` pairs a `Remove` has
+    /// been observed for. Anti-entropy is add-only, so without these a
+    /// stale replica's repair push would resurrect a deleted mapping; a
+    /// later `Put` of the same pair clears the marker (re-add wins).
+    /// Unreplicated servers never populate the table.
+    Locked {
+        dht: Mutex<Box<dyn Dht + Send>>,
+        tombstones: Mutex<HashMap<Key, HashSet<Bytes>>>,
+    },
+    /// The sharded reader-concurrent partition store (tombstones live
+    /// inside the shards, under the same locks as the values they
+    /// shadow).
+    Sharded(ShardedDht),
+}
+
+impl Engine {
+    /// Executes one operation. Locked: one global lock acquisition.
+    /// Sharded: only the shard the key hashes to is locked (read lock
+    /// for `Get`/`NodeFor`, write lock for `Put`/`Remove`).
+    fn execute(&self, op: DhtOp) -> Result<DhtResponse, DhtError> {
+        match self {
+            Engine::Locked { dht, .. } => {
+                dht.lock().expect("server substrate poisoned").execute(op)
+            }
+            Engine::Sharded(sharded) => sharded.execute_shared(op),
+        }
+    }
+
+    /// Executes a batch of independent operations. Locked: the global
+    /// lock is taken once for the whole batch. Sharded: each op locks
+    /// only its own shard, so batches from different connections
+    /// interleave.
+    fn execute_many(&self, ops: Vec<DhtOp>) -> Vec<Result<DhtResponse, DhtError>> {
+        match self {
+            Engine::Locked { dht, .. } => dht
+                .lock()
+                .expect("server substrate poisoned")
+                .execute_many(ops),
+            Engine::Sharded(sharded) => sharded.execute_many_shared(ops),
+        }
+    }
+
+    /// Records the tombstone transition of one write: `Remove` marks the
+    /// `(key, value)` pair deleted, `Put` of the same pair clears the
+    /// marker (re-add wins). Only called on replicated servers.
+    fn note_write(&self, op: &DhtOp) {
+        match self {
+            Engine::Locked { tombstones, .. } => {
+                let mut tombstones = tombstones.lock().expect("tombstones poisoned");
+                match op {
+                    DhtOp::Remove { key, value } => {
+                        tombstones.entry(*key).or_default().insert(value.clone());
+                    }
+                    DhtOp::Put { key, value } => {
+                        if let Some(set) = tombstones.get_mut(key) {
+                            set.remove(value);
+                            if set.is_empty() {
+                                tombstones.remove(key);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Engine::Sharded(sharded) => sharded.note_write(op),
+        }
+    }
+
+    /// The substrate's full entry snapshot (tombstoned values included).
+    fn entries(&self) -> Vec<(Key, Vec<Bytes>)> {
+        match self {
+            Engine::Locked { dht, .. } => dht.lock().expect("server substrate poisoned").entries(),
+            Engine::Sharded(sharded) => sharded.entries(),
+        }
+    }
+
+    /// The local entries minus every tombstoned value — what anti-entropy
+    /// and the graceful-leave drain are allowed to push — plus the number
+    /// of values withheld. Sharded: one consistent per-shard sweep.
+    fn live_local_entries(&self) -> (Vec<(Key, Vec<Bytes>)>, u64) {
+        match self {
+            Engine::Locked { .. } => self.filter_incoming(self.entries()),
+            Engine::Sharded(sharded) => sharded.live_entries(),
+        }
+    }
+
+    /// Filters an incoming entry list (a peer's `Transfer` payload)
+    /// against the local tombstones, returning the survivors and the
+    /// number of values withheld.
+    fn filter_incoming(&self, entries: Vec<(Key, Vec<Bytes>)>) -> (Vec<(Key, Vec<Bytes>)>, u64) {
+        match self {
+            Engine::Locked { tombstones, .. } => {
+                let tombstones = tombstones.lock().expect("tombstones poisoned");
+                if tombstones.is_empty() {
+                    return (entries, 0);
+                }
+                let mut withheld = 0u64;
+                let filtered = entries
+                    .into_iter()
+                    .filter_map(|(key, values)| {
+                        let values: Vec<Bytes> = match tombstones.get(&key) {
+                            None => values,
+                            Some(dead) => values
+                                .into_iter()
+                                .filter(|v| {
+                                    let keep = !dead.contains(v);
+                                    withheld += u64::from(!keep);
+                                    keep
+                                })
+                                .collect(),
+                        };
+                        (!values.is_empty()).then_some((key, values))
+                    })
+                    .collect();
+                (filtered, withheld)
+            }
+            Engine::Sharded(sharded) => sharded.filter_live(entries),
+        }
+    }
+
+    /// Snapshot of every tombstone as `(key, deleted values)` — the
+    /// input to the repair pass's scrub half.
+    fn tombstones(&self) -> Vec<(Key, Vec<Bytes>)> {
+        match self {
+            Engine::Locked { tombstones, .. } => {
+                let tombstones = tombstones.lock().expect("tombstones poisoned");
+                tombstones
+                    .iter()
+                    .map(|(k, dead)| (*k, dead.iter().cloned().collect()))
+                    .collect()
+            }
+            Engine::Sharded(sharded) => sharded.tombstones(),
+        }
+    }
+
+    /// Swaps the served contents for `new`'s, returning the old
+    /// substrate (tombstones stay in place on both paths).
+    fn replace(&self, new: Box<dyn Dht + Send>) -> Box<dyn Dht + Send> {
+        match self {
+            Engine::Locked { dht, .. } => {
+                let mut slot = dht.lock().expect("server substrate poisoned");
+                std::mem::replace(&mut *slot, new)
+            }
+            Engine::Sharded(sharded) => sharded.replace_contents(new),
+        }
+    }
+}
+
+/// Precomputed per-kind request counter names. The `format!` this
+/// replaces ran once per served frame — one of the hot path's last
+/// recurring allocations (and it allocated even with metrics disabled).
+fn op_counter(kind: &str) -> &'static str {
+    match kind {
+        "node_for" => "net.server.ops.node_for",
+        "put" => "net.server.ops.put",
+        "get" => "net.server.ops.get",
+        "remove" => "net.server.ops.remove",
+        _ => "net.server.ops.other",
+    }
+}
+
 /// Shared state between the accept loop and connection workers.
 struct Shared {
-    dht: Mutex<Box<dyn Dht + Send>>,
+    engine: Engine,
     stop: AtomicBool,
     metrics: MetricsRegistry,
     read_timeout: Duration,
@@ -244,15 +430,6 @@ struct Shared {
     served: AtomicU64,
     /// `Some` when this server is a member of a replicated cluster.
     replication: Option<Replication>,
-    /// Deletion markers for replicated clusters: `(key, value)` pairs a
-    /// `Remove` has been observed for. Anti-entropy is add-only, so
-    /// without these a stale replica's repair push would resurrect a
-    /// deleted mapping; the markers filter incoming `Transfer` values
-    /// and are propagated as `Replicate`-remove frames by the repair
-    /// pass so stale members get scrubbed too. A later `Put` of the same
-    /// pair clears the marker (re-add wins). Unreplicated servers never
-    /// populate this.
-    tombstones: Mutex<HashMap<Key, HashSet<Bytes>>>,
 }
 
 /// A running DHT node server. Dropping the handle shuts the server down.
@@ -284,18 +461,59 @@ impl DhtServer {
         dht: Box<dyn Dht + Send>,
         config: ServerConfig,
     ) -> io::Result<DhtServer> {
+        let engine = Engine::Locked {
+            dht: Mutex::new(dht),
+            tombstones: Mutex::new(HashMap::new()),
+        };
+        Self::spawn_engine(listener, engine, config)
+    }
+
+    /// Binds `addr` and serves the partition owned by `node` on the
+    /// engine `config.shards` selects: the sharded reader-concurrent
+    /// store (the default), or the classic single-mutex single-node ring
+    /// when `shards <= 1` — the `--shards 1` escape hatch, behaviorally
+    /// identical to serving `RingDht::from_ids([node])` via
+    /// [`DhtServer::spawn`].
+    pub fn spawn_partition(
+        node: NodeId,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<DhtServer> {
+        Self::spawn_partition_on(TcpListener::bind(addr)?, node, config)
+    }
+
+    /// [`DhtServer::spawn_partition`] on an already-bound listener (the
+    /// replicated-cluster bootstrap path).
+    pub fn spawn_partition_on(
+        listener: TcpListener,
+        node: NodeId,
+        config: ServerConfig,
+    ) -> io::Result<DhtServer> {
+        if config.shards <= 1 {
+            let dht: Box<dyn Dht + Send> = Box::new(RingDht::from_ids([*node.key()]));
+            return Self::spawn_on(listener, dht, config);
+        }
+        let mut sharded = ShardedDht::new(node, config.shards);
+        sharded.set_shard_metrics(config.metrics.clone());
+        Self::spawn_engine(listener, Engine::Sharded(sharded), config)
+    }
+
+    fn spawn_engine(
+        listener: TcpListener,
+        engine: Engine,
+        config: ServerConfig,
+    ) -> io::Result<DhtServer> {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let replication = config.replication.map(Replication::from_config);
         let shared = Arc::new(Shared {
-            dht: Mutex::new(dht),
+            engine,
             stop: AtomicBool::new(false),
             metrics: config.metrics.clone(),
             read_timeout: config.read_timeout,
             write_timeout: config.write_timeout,
             served: AtomicU64::new(0),
             replication,
-            tombstones: Mutex::new(HashMap::new()),
         });
         let accept_shared = Arc::clone(&shared);
         let poll = config.accept_poll;
@@ -326,8 +544,7 @@ impl DhtServer {
     /// port, and is how a restarted daemon would rejoin with an empty
     /// store before repair refills it.
     pub fn replace_substrate(&self, dht: Box<dyn Dht + Send>) -> Box<dyn Dht + Send> {
-        let mut slot = self.shared.dht.lock().expect("server substrate poisoned");
-        std::mem::replace(&mut *slot, dht)
+        self.shared.engine.replace(dht)
     }
 
     /// Runs one synchronous anti-entropy pass now (in addition to the
@@ -434,11 +651,16 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_write_timeout(Some(shared.write_timeout));
     let _ = stream.set_nodelay(true);
     let mut stream = stream;
+    // Per-connection frame buffers, reused across every frame this worker
+    // reads and writes: the per-frame payload and encode allocations of
+    // the old path amortize to a few capacity growths per connection.
+    let mut read_scratch: Vec<u8> = Vec::new();
+    let mut write_scratch: Vec<u8> = Vec::with_capacity(256);
     loop {
         if shared.stop.load(Ordering::Relaxed) {
             return;
         }
-        let (msg, bytes_in) = match read_message(&mut stream) {
+        let (msg, bytes_in) = match read_message_with(&mut stream, &mut read_scratch) {
             Ok(ok) => ok,
             Err(RecvError::Closed) => return,
             Err(RecvError::Io(e))
@@ -466,12 +688,12 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 let kind = op.kind();
                 let result = replicated_execute(&shared, op);
                 shared.served.fetch_add(1, Ordering::Relaxed);
-                shared.metrics.incr(&format!("net.server.ops.{kind}"));
+                shared.metrics.incr(op_counter(kind));
                 if result.is_err() {
                     shared.metrics.incr("net.server.op_errors");
                 }
                 let reply = Message::Response { id, result };
-                match write_message(&mut stream, &reply) {
+                match write_message_with(&mut stream, &reply, &mut write_scratch) {
                     Ok(bytes_out) => {
                         shared.metrics.incr("net.server.frames_out");
                         shared.metrics.add("net.server.bytes_out", bytes_out as u64);
@@ -483,11 +705,13 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 }
             }
             Message::Batch { id, ops } => {
-                // A whole batch executes in one connection turn: the
-                // substrate lock is taken once, every op runs in order,
-                // and a single BatchReply answers them all. (Replicated
-                // servers go op by op instead, because write fan-out must
-                // not happen under the substrate lock.)
+                // A whole batch executes in one connection turn: every op
+                // runs in order and a single BatchReply answers them all.
+                // On the locked engine the substrate lock is taken once
+                // for the batch; on the sharded engine each op takes only
+                // its shard's lock. (Replicated servers go op by op
+                // instead, because write fan-out must not happen under
+                // any storage lock.)
                 let count = ops.len() as u64;
                 let kinds: Vec<&'static str> = ops.iter().map(|op| op.kind()).collect();
                 let results = if shared.replication.is_some() {
@@ -495,20 +719,19 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                         .map(|op| replicated_execute(&shared, op))
                         .collect()
                 } else {
-                    let mut dht = shared.dht.lock().expect("server substrate poisoned");
-                    dht.execute_many(ops)
+                    shared.engine.execute_many(ops)
                 };
                 shared.served.fetch_add(count, Ordering::Relaxed);
                 shared.metrics.incr("net.server.batches");
                 shared.metrics.add("net.server.batch_ops", count);
                 for (kind, result) in kinds.iter().zip(&results) {
-                    shared.metrics.incr(&format!("net.server.ops.{kind}"));
+                    shared.metrics.incr(op_counter(kind));
                     if result.is_err() {
                         shared.metrics.incr("net.server.op_errors");
                     }
                 }
                 let reply = Message::BatchReply { id, results };
-                match write_message(&mut stream, &reply) {
+                match write_message_with(&mut stream, &reply, &mut write_scratch) {
                     Ok(bytes_out) => {
                         shared.metrics.incr("net.server.frames_out");
                         shared.metrics.add("net.server.bytes_out", bytes_out as u64);
@@ -527,15 +750,12 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 // (and the repair pass's tombstone scrubs) stick on every
                 // member, not just the one the client happened to reach.
                 if shared.replication.is_some() {
-                    note_write(&shared, &op);
+                    shared.engine.note_write(&op);
                 }
-                let result = {
-                    let mut dht = shared.dht.lock().expect("server substrate poisoned");
-                    dht.execute(op)
-                };
+                let result = shared.engine.execute(op);
                 shared.metrics.incr("net.server.replica.applied");
                 let reply = Message::Response { id, result };
-                if write_message(&mut stream, &reply).is_err() {
+                if write_message_with(&mut stream, &reply, &mut write_scratch).is_err() {
                     shared.metrics.incr("net.server.transport_errors");
                     return;
                 }
@@ -547,16 +767,17 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 // member holds a tombstone for are dropped — a stale
                 // peer's add-only repair push must not resurrect a
                 // mapping deleted here.
-                let (entries, dropped) = live_entries(&shared, entries);
+                let (entries, dropped) = shared.engine.filter_incoming(entries);
                 let values: u64 = entries.iter().map(|(_, vs)| vs.len() as u64).sum();
-                {
-                    let mut dht = shared.dht.lock().expect("server substrate poisoned");
-                    for (key, values) in entries {
-                        for value in values {
-                            let _ = dht.execute(DhtOp::Put { key, value });
-                        }
-                    }
-                }
+                let puts: Vec<DhtOp> = entries
+                    .into_iter()
+                    .flat_map(|(key, values)| {
+                        values
+                            .into_iter()
+                            .map(move |value| DhtOp::Put { key, value })
+                    })
+                    .collect();
+                let _ = shared.engine.execute_many(puts);
                 shared
                     .metrics
                     .add("net.server.replica.transfer_values", values);
@@ -567,7 +788,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     id,
                     result: Ok(DhtResponse::Stored(true)),
                 };
-                if write_message(&mut stream, &reply).is_err() {
+                if write_message_with(&mut stream, &reply, &mut write_scratch).is_err() {
                     shared.metrics.incr("net.server.transport_errors");
                     return;
                 }
@@ -589,56 +810,6 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
-/// Records the tombstone transition of one write: `Remove` marks the
-/// `(key, value)` pair deleted, `Put` of the same pair clears the marker
-/// (re-add wins). Only called on replicated servers.
-fn note_write(shared: &Shared, op: &DhtOp) {
-    let mut tombstones = shared.tombstones.lock().expect("tombstones poisoned");
-    match op {
-        DhtOp::Remove { key, value } => {
-            tombstones.entry(*key).or_default().insert(value.clone());
-        }
-        DhtOp::Put { key, value } => {
-            if let Some(set) = tombstones.get_mut(key) {
-                set.remove(value);
-                if set.is_empty() {
-                    tombstones.remove(key);
-                }
-            }
-        }
-        _ => {}
-    }
-}
-
-/// `entries` minus every tombstoned value — what anti-entropy and the
-/// graceful-leave drain are allowed to push. Returns the number of
-/// values withheld alongside the surviving entries.
-fn live_entries(shared: &Shared, entries: Vec<(Key, Vec<Bytes>)>) -> (Vec<(Key, Vec<Bytes>)>, u64) {
-    let tombstones = shared.tombstones.lock().expect("tombstones poisoned");
-    if tombstones.is_empty() {
-        return (entries, 0);
-    }
-    let mut withheld = 0u64;
-    let filtered = entries
-        .into_iter()
-        .filter_map(|(key, values)| {
-            let values: Vec<Bytes> = match tombstones.get(&key) {
-                None => values,
-                Some(dead) => values
-                    .into_iter()
-                    .filter(|v| {
-                        let keep = !dead.contains(v);
-                        withheld += u64::from(!keep);
-                        keep
-                    })
-                    .collect(),
-            };
-            (!values.is_empty()).then_some((key, values))
-        })
-        .collect();
-    (filtered, withheld)
-}
-
 /// Executes one client op; on a replicated server, writes are applied
 /// locally and fanned out to the rest of the key's replica set, and the
 /// write quorum `W` (local apply included) is enforced before replying.
@@ -650,17 +821,11 @@ fn replicated_execute(shared: &Shared, op: DhtOp) -> Result<DhtResponse, DhtErro
         {
             repl
         }
-        _ => {
-            let mut dht = shared.dht.lock().expect("server substrate poisoned");
-            return dht.execute(op);
-        }
+        _ => return shared.engine.execute(op),
     };
     let key = *op.key();
-    note_write(shared, &op);
-    let local = {
-        let mut dht = shared.dht.lock().expect("server substrate poisoned");
-        dht.execute(op.clone())
-    };
+    shared.engine.note_write(&op);
+    let local = shared.engine.execute(op.clone());
     let mut acks = usize::from(local.is_ok());
     for member in repl.replica_set(&key) {
         if member == repl.node_key {
@@ -731,11 +896,7 @@ fn repair_pass(shared: &Shared) {
     if repl.replicas <= 1 || repl.peers.is_empty() {
         return;
     }
-    let entries = {
-        let dht = shared.dht.lock().expect("server substrate poisoned");
-        dht.entries()
-    };
-    let (entries, _) = live_entries(shared, entries);
+    let (entries, _) = shared.engine.live_local_entries();
     let grouped = group_entries(&entries, |key| repl.replica_set(key), &repl.node_key);
     for (target, batch) in grouped {
         let values: u64 = batch.iter().map(|(_, vs)| vs.len() as u64).sum();
@@ -748,12 +909,7 @@ fn repair_pass(shared: &Shared) {
                 .add("net.server.replica.repair_values", values);
         }
     }
-    let tombstones: Vec<(Key, Vec<Bytes>)> = {
-        let t = shared.tombstones.lock().expect("tombstones poisoned");
-        t.iter()
-            .map(|(k, dead)| (*k, dead.iter().cloned().collect()))
-            .collect()
-    };
+    let tombstones: Vec<(Key, Vec<Bytes>)> = shared.engine.tombstones();
     for (key, dead) in tombstones {
         for member in repl.replica_set(&key) {
             if member == repl.node_key {
@@ -793,11 +949,7 @@ fn drain_partition(shared: &Shared) {
         .copied()
         .filter(|k| *k != repl.node_key)
         .collect();
-    let entries = {
-        let dht = shared.dht.lock().expect("server substrate poisoned");
-        dht.entries()
-    };
-    let (entries, _) = live_entries(shared, entries);
+    let (entries, _) = shared.engine.live_local_entries();
     if entries.is_empty() {
         return;
     }

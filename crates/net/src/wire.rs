@@ -645,10 +645,27 @@ fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Mess
 
 /// Writes one frame to `w` and flushes it.
 pub fn write_message(w: &mut impl Write, msg: &Message) -> io::Result<usize> {
-    let buf = encode_to_vec(msg);
-    w.write_all(&buf)?;
+    let mut scratch = Vec::with_capacity(HEADER_LEN + 64);
+    write_message_with(w, msg, &mut scratch)
+}
+
+/// Writes one frame to `w` through a caller-owned encode buffer and
+/// flushes it.
+///
+/// The scratch is cleared and refilled in place, so a long-lived
+/// connection that passes the same buffer for every frame amortizes the
+/// encode allocation to (at most) a few capacity growths over the
+/// connection's lifetime — this is the server hot path's frame writer.
+pub fn write_message_with(
+    w: &mut impl Write,
+    msg: &Message,
+    scratch: &mut Vec<u8>,
+) -> io::Result<usize> {
+    scratch.clear();
+    encode_message(msg, scratch);
+    w.write_all(scratch)?;
     w.flush()?;
-    Ok(buf.len())
+    Ok(scratch.len())
 }
 
 /// Reads exactly one frame from `r`.
@@ -657,6 +674,23 @@ pub fn write_message(w: &mut impl Write, msg: &Message) -> io::Result<usize> {
 /// EOF mid-frame is an [`RecvError::Io`] with `UnexpectedEof`. Returns
 /// the message and the number of bytes read.
 pub fn read_message(r: &mut impl Read) -> Result<(Message, usize), RecvError> {
+    let mut scratch = Vec::new();
+    read_message_with(r, &mut scratch)
+}
+
+/// Reads exactly one frame from `r`, staging the payload in a
+/// caller-owned scratch buffer.
+///
+/// Same contract as [`read_message`], but the payload bytes land in
+/// `scratch` (cleared and resized in place), so a long-lived connection
+/// that passes the same buffer for every frame reuses one allocation
+/// instead of allocating per frame — this is the server hot path's frame
+/// reader. Decoded values still copy out of the scratch (they must own
+/// their bytes beyond this call), so reuse is safe.
+pub fn read_message_with(
+    r: &mut impl Read,
+    scratch: &mut Vec<u8>,
+) -> Result<(Message, usize), RecvError> {
     let mut header = [0u8; HEADER_LEN];
     let first = r.read(&mut header).map_err(RecvError::Io)?;
     if first == 0 {
@@ -677,10 +711,11 @@ pub fn read_message(r: &mut impl Read) -> Result<(Message, usize), RecvError> {
     if payload_len > MAX_PAYLOAD {
         return Err(WireError::Oversized(payload_len).into());
     }
-    let mut payload = vec![0u8; payload_len as usize];
-    read_exact_from(r, &mut payload).map_err(RecvError::Io)?;
-    let msg = decode_payload(version, kind, id, &payload)?;
-    Ok((msg, HEADER_LEN + payload.len()))
+    scratch.clear();
+    scratch.resize(payload_len as usize, 0);
+    read_exact_from(r, scratch).map_err(RecvError::Io)?;
+    let msg = decode_payload(version, kind, id, scratch)?;
+    Ok((msg, HEADER_LEN + scratch.len()))
 }
 
 /// `read_exact` that retries on `Interrupted`, used for both header and

@@ -143,7 +143,7 @@ fn usage() -> String {
      [--small] [--nodes N] [--articles N] [--queries N] [--seed N] [--csv DIR] [--jobs N] [--metrics FILE] [--profile] [--allow-regression]\n\
      \x20      repro trace <query> [--small] [--nodes N] [--articles N] [--seed N]\n\
      \x20      repro serve [--substrate ring|chord|kademlia|pastry] [--port N] [--node-name NAME] [--loss F] [--fault-seed N] \
-     [--replicas R] [--quorum W,RQ] [--peers NAME=HOST:PORT,...] [--repair-ms N]\n\
+     [--replicas R] [--quorum W,RQ] [--peers NAME=HOST:PORT,...] [--repair-ms N] [--shards N]\n\
      \x20      repro net-demo --members HOST:PORT,... [--articles N] [--queries N] [--seed N] [--replicas R] [--quorum W,RQ] [--shutdown]\n\
      \x20      repro hotspot [--small] [--csv DIR] [--nodes N] [--articles N] [--queries N] [--seed N] \
      [--hot-rank N] [--boost F] [--budget N] [--threshold N] [--fanout N]"
@@ -195,6 +195,9 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
             }
             "--repair-ms" => {
                 opts.repair_ms = parse_num(args.next(), "--repair-ms")? as u64;
+            }
+            "--shards" => {
+                opts.shards = parse_num(args.next(), "--shards")?;
             }
             other => return Err(format!("unknown serve flag {other}\n{}", usage())),
         }
@@ -643,8 +646,10 @@ fn bench(
     }
 
     // Loopback RPC micro-bench: real sockets, single-node server, get and
-    // put at 1 and 8 client threads (median of 3 samples per cell).
-    let net_json = netd::net_bench();
+    // put at 1 and 8 client threads (median of 3 samples per cell), plus
+    // the sharded-vs-single-lock thread sweep, which gates the same way
+    // the grid sweep does.
+    let (net_json, net_regressed) = netd::net_bench();
 
     let sweep_json = sweep
         .iter()
@@ -698,6 +703,14 @@ fn bench(
         eprintln!(
             "# FAIL: the parallel grid regressed against serial (see REGRESSION lines above); \
              pass --allow-regression to record the numbers anyway"
+        );
+        return ExitCode::FAILURE;
+    }
+    if net_regressed && !allow_regression {
+        eprintln!(
+            "# FAIL: the sharded server fell below the noise margin against its single-lock \
+             twin (see REGRESSED cells above); pass --allow-regression to record the numbers \
+             anyway"
         );
         return ExitCode::FAILURE;
     }

@@ -58,6 +58,12 @@ pub struct ServeOptions {
     pub peers: Vec<(String, SocketAddr)>,
     /// Anti-entropy repair interval in milliseconds (0 disables).
     pub repair_ms: u64,
+    /// Storage shard count for the ring substrate: `> 1` (the default)
+    /// serves the reader-concurrent sharded engine, `1` is the classic
+    /// single-mutex path kept as the contention baseline. Non-ring
+    /// substrates and fault-injected partitions always use the
+    /// single-mutex path (they wrap arbitrary substrates).
+    pub shards: usize,
 }
 
 impl Default for ServeOptions {
@@ -72,6 +78,7 @@ impl Default for ServeOptions {
             write_quorum: 1,
             peers: Vec::new(),
             repair_ms: 200,
+            shards: ServerConfig::default().shards,
         }
     }
 }
@@ -114,7 +121,6 @@ fn build_partition(opts: &ServeOptions) -> Result<Box<dyn Dht + Send>, String> {
 /// graceful shutdown.
 pub fn serve(opts: &ServeOptions) -> Result<(), String> {
     use std::io::Write;
-    let dht = build_partition(opts)?;
     let replication = if opts.replicas > 1 {
         if opts.peers.is_empty() {
             return Err("--replicas > 1 needs --peers NAME=HOST:PORT,...".to_string());
@@ -138,10 +144,22 @@ pub fn serve(opts: &ServeOptions) -> Result<(), String> {
     };
     let config = ServerConfig {
         replication,
+        shards: opts.shards,
         ..ServerConfig::default()
     };
-    let server = DhtServer::spawn(dht, ("127.0.0.1", opts.port), config)
-        .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
+    // The plain ring partition gets the sharded reader-concurrent
+    // engine; everything else (other substrates, fault injectors) wraps
+    // an arbitrary `Dht` and keeps the single-mutex path.
+    let server = if opts.substrate == "ring" && opts.loss == 0.0 {
+        DhtServer::spawn_partition(
+            NodeId::hash_of(&opts.node_name),
+            ("127.0.0.1", opts.port),
+            config,
+        )
+    } else {
+        DhtServer::spawn(build_partition(opts)?, ("127.0.0.1", opts.port), config)
+    }
+    .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", opts.port))?;
     let addr = server.local_addr();
     // The harness parses this exact line to learn the ephemeral port, so
     // flush it before blocking.
@@ -385,12 +403,20 @@ fn net_bench_cell(
                     let mut lats = Vec::with_capacity(OPS_PER_THREAD);
                     for i in 0..OPS_PER_THREAD {
                         let key = Key::hash_of(&format!("bench-{t}-{i}"));
-                        let req = match op {
-                            "put" => DhtOp::Put {
+                        // "mixed" is the paper's read-heavy shape: 90%
+                        // gets, every 10th op a put.
+                        let write = match op {
+                            "put" => true,
+                            "mixed" => i % 10 == 0,
+                            _ => false,
+                        };
+                        let req = if write {
+                            DhtOp::Put {
                                 key,
                                 value: bytes::Bytes::from(format!("value-{t}-{i}")),
-                            },
-                            _ => DhtOp::Get(key),
+                            }
+                        } else {
+                            DhtOp::Get(key)
                         };
                         let at = Instant::now();
                         client.execute(req).expect("bench op on live loopback");
@@ -414,6 +440,24 @@ fn net_bench_cell(
         p50_us: percentile(&latencies, 50.0),
         p99_us: percentile(&latencies, 99.0),
     }
+}
+
+/// Runs one `(op, threads)` cell 3 times and returns the median sample
+/// by throughput.
+fn median_cell(
+    make_client: &(dyn Fn() -> RemoteDht + Sync),
+    op: &'static str,
+    threads: usize,
+) -> NetBenchCell {
+    let mut samples: Vec<NetBenchCell> = (0..3)
+        .map(|_| net_bench_cell(make_client, op, threads))
+        .collect();
+    samples.sort_by(|a, b| {
+        a.ops_per_sec
+            .partial_cmp(&b.ops_per_sec)
+            .expect("throughput is finite")
+    });
+    samples.remove(1)
 }
 
 /// One measured side of the fan-out bench: the frame count and latency
@@ -477,21 +521,15 @@ fn fanout_cell(cluster: &LoopbackCluster, k: usize, batched: bool) -> FanoutCell
 /// under the `quorum` key. Each throughput cell is sampled 3 times and
 /// the median by throughput is reported. Returns the `net` JSON object
 /// for `BENCH_results.json` (and prints a summary line per cell on
-/// stderr).
-pub fn net_bench() -> String {
+/// stderr), plus whether any sharded-sweep cell regressed below the
+/// noise margin against its single-lock twin — the caller turns that
+/// into a non-zero exit, same as the grid sweep's gate.
+pub fn net_bench() -> (String, bool) {
     let cluster = LoopbackCluster::start_ring(1).expect("loopback bench cluster binds");
     let mut cells = Vec::new();
     for op in ["get", "put"] {
         for threads in [1usize, 8] {
-            let mut samples: Vec<NetBenchCell> = (0..3)
-                .map(|_| net_bench_cell(&|| cluster.client(), op, threads))
-                .collect();
-            samples.sort_by(|a, b| {
-                a.ops_per_sec
-                    .partial_cmp(&b.ops_per_sec)
-                    .expect("throughput is finite")
-            });
-            let median = samples.remove(1);
+            let median = median_cell(&|| cluster.client(), op, threads);
             eprintln!(
                 "# net {op} x{threads}: {:.0} ops/s, p50 {} us, p99 {} us (median of 3)",
                 median.ops_per_sec, median.p50_us, median.p99_us
@@ -500,6 +538,49 @@ pub fn net_bench() -> String {
         }
     }
     cluster.shutdown();
+
+    // Sharded-vs-single-lock thread sweep: the tentpole exhibit. The
+    // same build serves the same single-node partition twice — once on
+    // the default sharded engine, once behind `--shards 1` (the old
+    // global mutex) — and get / put / 90-10 mixed throughput is swept
+    // across client thread counts. A cell regresses when the sharded
+    // engine falls below 0.75x the locked twin at more than one thread;
+    // the margin absorbs loopback noise, and single-thread cells are
+    // informational (there is no contention to win there, and one-core
+    // hosts show parity by construction).
+    const SWEEP_THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+    const SWEEP_MARGIN: f64 = 0.75;
+    let shard_count = ServerConfig::default().shards;
+    let sharded_cluster =
+        LoopbackCluster::start_ring_sharded(1, shard_count).expect("sharded bench cluster binds");
+    let locked_cluster =
+        LoopbackCluster::start_ring_sharded(1, 1).expect("single-lock bench cluster binds");
+    let mut sweep_rows = Vec::new();
+    let mut regressed = false;
+    for op in ["get", "put", "mixed"] {
+        for threads in SWEEP_THREADS {
+            let sharded = median_cell(&|| sharded_cluster.client(), op, threads);
+            let locked = median_cell(&|| locked_cluster.client(), op, threads);
+            let speedup = sharded.ops_per_sec / locked.ops_per_sec.max(1e-9);
+            let cell_regressed = threads > 1 && speedup < SWEEP_MARGIN;
+            regressed |= cell_regressed;
+            eprintln!(
+                "# net sharded {op} x{threads}: {:.0} ops/s sharded vs {:.0} ops/s locked \
+                 ({speedup:.2}x){}",
+                sharded.ops_per_sec,
+                locked.ops_per_sec,
+                if cell_regressed { " REGRESSED" } else { "" }
+            );
+            sweep_rows.push(format!(
+                "{{ \"op\": \"{op}\", \"threads\": {threads}, \
+                 \"sharded_ops_per_sec\": {:.1}, \"locked_ops_per_sec\": {:.1}, \
+                 \"sharded_p50_us\": {}, \"locked_p50_us\": {}, \"speedup\": {speedup:.2} }}",
+                sharded.ops_per_sec, locked.ops_per_sec, sharded.p50_us, locked.p50_us
+            ));
+        }
+    }
+    sharded_cluster.shutdown();
+    locked_cluster.shutdown();
 
     // Quorum exhibit: the price of durability. A replicated 4-member
     // cluster (R=3, W=2, Rq=2): every put fans out server-side to two
@@ -573,16 +654,20 @@ pub fn net_bench() -> String {
         })
         .collect::<Vec<_>>()
         .join(", ");
-    format!(
+    let sweep_body = sweep_rows.join(",\n      ");
+    let json = format!(
         "{{ \"transport\": \"tcp-loopback\", \"samples\": 3, \"statistic\": \"median\", \
          \"cells\": [\n    {body}\n  ],\n  \"batch\": {{ \"k\": {FANOUT_K}, \
          \"members\": {FANOUT_MEMBERS}, \"unary\": {}, \"batched\": {} }},\n  \
          \"quorum\": {{ \"members\": {QUORUM_MEMBERS}, \"replicas\": {QUORUM_R}, \
          \"write_quorum\": {QUORUM_W}, \"read_quorum\": {QUORUM_RQ}, \
-         \"cells\": [ {quorum_body} ] }} }}",
+         \"cells\": [ {quorum_body} ] }},\n  \
+         \"sharded\": {{ \"shards\": {shard_count}, \"margin\": {SWEEP_MARGIN}, \
+         \"regressed\": {regressed}, \"cells\": [\n      {sweep_body}\n    ] }} }}",
         fanout_json(&unary),
         fanout_json(&batch)
-    )
+    );
+    (json, regressed)
 }
 
 #[cfg(test)]

@@ -400,7 +400,21 @@ impl Query {
                 self.0.write(f, false)
             }
         }
-        let canon: Arc<str> = Canon(&root).to_string().into();
+        // Render through a thread-local scratch buffer: `to_string()`
+        // grows an empty String through several reallocations per query,
+        // and schemes build a handful of queries per published file —
+        // this keeps query construction at one allocation (the Arc copy).
+        thread_local! {
+            static CANON_SCRATCH: std::cell::RefCell<String> =
+                const { std::cell::RefCell::new(String::new()) };
+        }
+        let canon: Arc<str> = CANON_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            scratch.clear();
+            use fmt::Write;
+            write!(scratch, "{}", Canon(&root)).expect("fmt to String cannot fail");
+            Arc::from(scratch.as_str())
+        });
         Query {
             root: Arc::new(root),
             canon,
